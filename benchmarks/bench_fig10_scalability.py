@@ -1,0 +1,85 @@
+"""Figure 10 — training time versus number of machines (DW and GBDT).
+
+The paper plots distributed DeepWalk time (minutes) and distributed GBDT time
+(seconds) for 4/10/20/40 machines, half servers and half workers.  Shape to
+reproduce: DW keeps improving up to 40 machines, GBDT stops improving beyond
+20 because communication / uneven traffic dominates.
+
+Two things are measured here:
+
+* the calibrated cluster cost model evaluated at the paper's machine counts
+  (the plotted series), and
+* an actual distributed DeepWalk / GBDT run on the simulated KunPeng cluster,
+  which exercises the pull/push/model-average machinery end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.core.evaluation import evaluate_scores
+from repro.datagen.datasets import DatasetBuilder
+from repro.features.basic import BasicFeatureExtractor
+from repro.graph.builder import build_network
+from repro.graph.random_walk import RandomWalkConfig
+from repro.kunpeng import ClusterConfig
+from repro.kunpeng.cost_model import scalability_curve
+from repro.models.distributed import DistributedGBDT
+from repro.nrl.distributed import DistributedDeepWalk, DistributedDeepWalkConfig
+from repro.nrl.word2vec import SkipGramConfig
+
+
+def test_fig10_scalability_curve(benchmark):
+    rows = run_once(benchmark, scalability_curve)
+
+    print("\nFigure 10 — estimated training time vs number of machines")
+    print(f"  {'machines':>9} {'DW (minutes)':>14} {'GBDT (seconds)':>16}")
+    for row in rows:
+        print(
+            f"  {int(row['num_machines']):>9} {row['deepwalk_minutes']:>14.1f} "
+            f"{row['gbdt_seconds']:>16.1f}"
+        )
+
+    deepwalk = [row["deepwalk_minutes"] for row in rows]
+    gbdt = [row["gbdt_seconds"] for row in rows]
+    assert deepwalk == sorted(deepwalk, reverse=True), "DW time must fall with more machines"
+    assert gbdt[2] < gbdt[0], "GBDT should improve from 4 to 20 machines"
+    assert gbdt[3] > 0.8 * gbdt[2], "GBDT should stop improving from 20 to 40 machines"
+
+
+def test_fig10_distributed_training_runs(benchmark, bench_world):
+    """Exercise the real PS training loop and report its recorded workload."""
+    builder = DatasetBuilder(bench_world, network_days=25, train_days=7)
+    dataset = builder.build(builder.earliest_test_day())
+    network = build_network(dataset.network_transactions)
+    extractor = BasicFeatureExtractor(bench_world.profiles_by_id)
+    train = extractor.extract(dataset.train_transactions)
+    test = extractor.extract(dataset.test_transactions)
+
+    def _run():
+        deepwalk = DistributedDeepWalk(
+            DistributedDeepWalkConfig(
+                cluster=ClusterConfig(num_machines=4),
+                walk=RandomWalkConfig(walk_length=15, num_walks_per_node=3),
+                skipgram=SkipGramConfig(dimension=16, window=4, epochs=1, batch_size=2048),
+                rounds_per_epoch=3,
+                seed=0,
+            )
+        ).fit(network)
+        gbdt = DistributedGBDT(
+            cluster=ClusterConfig(num_machines=4), num_trees=30, seed=0
+        ).fit(train.values, train.labels)
+        scores = gbdt.predict_proba(test.values)
+        return {
+            "dw_workload": deepwalk.workload_summary(),
+            "gbdt_f1": evaluate_scores(test.labels, scores).f1,
+        }
+
+    result = run_once(benchmark, _run)
+    print("\nFigure 10 companion — simulated PS run on 4 machines")
+    print(f"  DW worker compute units : {result['dw_workload']['worker_compute_units']:.0f}")
+    print(f"  DW values transferred   : {result['dw_workload']['values_transferred']:.0f}")
+    print(f"  distributed GBDT test F1: {result['gbdt_f1']:.2%}")
+    assert result["gbdt_f1"] > 0.0
+    assert result["dw_workload"]["values_transferred"] > 0

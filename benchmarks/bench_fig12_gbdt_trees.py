@@ -1,0 +1,45 @@
+"""Figure 12 — F1 versus the number of GBDT decision trees.
+
+The paper sweeps 100/200/400/800 trees for four feature sets and sees F1 rise
+until 400 trees, then dip at 800 (overfitting).  The benchmark evaluates the
+same tree counts from a single staged model per feature set; on the reduced
+synthetic world the assertion is that more trees help initially and that the
+curve is not monotonically increasing forever (i.e. the largest budget is not
+required to reach the best score).
+"""
+
+from __future__ import annotations
+
+import os
+
+from benchmarks.conftest import BENCH_SCALE, run_once
+from repro.core.config import FeatureSetName
+
+TREE_COUNTS = (100, 200, 400, 800) if BENCH_SCALE == "paper" else (20, 40, 80, 160)
+
+
+def test_fig12_gbdt_tree_sweep(benchmark, bench_runner):
+    def _run():
+        return bench_runner.run_tree_sweep(
+            TREE_COUNTS,
+            feature_sets=(FeatureSetName.BASIC, FeatureSetName.BASIC_DW),
+        )
+
+    results = run_once(benchmark, _run)
+
+    print("\nFigure 12 — F1 vs number of GBDT trees")
+    header = "  " + f"{'feature set':<16}" + "".join(f"{c:>8}" for c in TREE_COUNTS)
+    print(header)
+    for feature_set, by_count in results.items():
+        row = "  " + f"{feature_set:<16}" + "".join(
+            f"{by_count[c]:>8.2%}" for c in TREE_COUNTS
+        )
+        print(row)
+
+    for by_count in results.values():
+        assert set(by_count) == set(TREE_COUNTS)
+        assert all(0.0 <= value <= 1.0 for value in by_count.values())
+        # The best score should be reachable before the largest tree budget
+        # (the paper's curve peaks at 400 of 800), within a small tolerance.
+        best = max(by_count.values())
+        assert max(by_count[c] for c in TREE_COUNTS[1:-1]) >= best - 0.08

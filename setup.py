@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The environment used for the reproduction is offline and ships a setuptools
+without the ``wheel`` package, so PEP 660 editable installs are unavailable.
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and
+plain ``pip install -e .`` on machines with a full toolchain) work either way.
+Metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,360 @@
+"""The offline T+1 training pipeline.
+
+For every training day the production flow of Figure 3 is:
+
+1. transaction logs are loaded into MaxCompute; SQL / MapReduce jobs extract
+   the labelled training window and aggregate the 90-day history into the
+   weighted transaction-network edge list,
+2. user node embeddings are learned on KunPeng (DeepWalk and/or
+   Structure2Vec),
+3. the detector is trained on basic features ⊕ embeddings, and the alert
+   threshold is calibrated on the training window,
+4. the model file goes to the model registry and the per-user features +
+   embeddings are uploaded to Ali-HBase (a new version per run), ready for the
+   Model Server.
+
+:class:`OfflineTrainingPipeline` implements those steps against the simulated
+substrates.  Embedding training is done once per dataset slice and shared by
+every Table 1 configuration that needs it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import (
+    DetectorName,
+    FeatureSetName,
+    ModelHyperparameters,
+    Table1Configuration,
+)
+from repro.core.evaluation import select_threshold
+from repro.core.registry import ModelRegistry, ModelVersion
+from repro.datagen.datasets import DatasetSlice
+from repro.datagen.schema import UserProfile
+from repro.exceptions import ConfigurationError
+from repro.features.assembler import EmbeddingSide, FeatureAssembler
+from repro.features.basic import BasicFeatureExtractor
+from repro.features.matrix import FeatureMatrix
+from repro.graph.builder import build_network
+from repro.graph.network import TransactionNetwork
+from repro.hbase.client import BASIC_FEATURES_FAMILY, EMBEDDINGS_FAMILY, HBaseClient
+from repro.logging_utils import get_logger
+from repro.maxcompute.client import MaxComputeClient
+from repro.maxcompute.mapreduce import transaction_edge_job
+from repro.models.base import BaseDetector
+from repro.models.gbdt import GradientBoostingClassifier
+from repro.models.isolation_forest import IsolationForest
+from repro.models.logistic_regression import LogisticRegression
+from repro.models.tree.c45 import C45Classifier
+from repro.models.tree.id3 import ID3Classifier
+from repro.nrl.deepwalk import DeepWalk, DeepWalkConfig
+from repro.nrl.embeddings import EmbeddingSet
+from repro.nrl.structure2vec import (
+    Structure2Vec,
+    Structure2VecConfig,
+    node_labels_from_transactions,
+)
+from repro.nrl.word2vec import SkipGramConfig
+from repro.graph.random_walk import RandomWalkConfig
+from repro.rng import derive_seed
+from repro.serving.model_server import ModelServer
+
+logger = get_logger("core.pipeline")
+
+
+def build_detector(
+    name: DetectorName, hyperparameters: ModelHyperparameters, *, seed: Optional[int] = None
+) -> BaseDetector:
+    """Instantiate a detector with the configured hyperparameters."""
+    seed = hyperparameters.seed if seed is None else seed
+    if name is DetectorName.ISOLATION_FOREST:
+        return IsolationForest(num_trees=hyperparameters.if_num_trees, seed=seed)
+    if name is DetectorName.ID3:
+        return ID3Classifier(
+            max_depth=hyperparameters.id3_max_depth,
+            discretize_bins=hyperparameters.id3_bins,
+        )
+    if name is DetectorName.C50:
+        return C45Classifier(max_depth=hyperparameters.c50_max_depth)
+    if name is DetectorName.LOGISTIC_REGRESSION:
+        return LogisticRegression(
+            l1=hyperparameters.lr_l1,
+            iterations=hyperparameters.lr_iterations,
+            discretize_bins=hyperparameters.lr_discretize_bins,
+        )
+    if name is DetectorName.GBDT:
+        return GradientBoostingClassifier(
+            num_trees=hyperparameters.gbdt_num_trees,
+            max_depth=hyperparameters.gbdt_max_depth,
+            subsample_rows=hyperparameters.gbdt_subsample,
+            subsample_features=hyperparameters.gbdt_subsample,
+            seed=seed,
+        )
+    raise ConfigurationError(f"unknown detector {name!r}")
+
+
+@dataclass
+class SlicePreparation:
+    """Per-slice artefacts shared across Table 1 configurations."""
+
+    dataset: DatasetSlice
+    network: TransactionNetwork
+    embeddings: Dict[str, EmbeddingSet] = field(default_factory=dict)
+
+    def embedding_sets_for(self, feature_set: FeatureSetName) -> Dict[str, EmbeddingSet]:
+        """Ordered embedding blocks for a feature-set configuration."""
+        selected: Dict[str, EmbeddingSet] = {}
+        if feature_set.uses_deepwalk:
+            selected["dw"] = self.embeddings["dw"]
+        if feature_set.uses_structure2vec:
+            selected["s2v"] = self.embeddings["s2v"]
+        return selected
+
+
+@dataclass
+class TrainedModelBundle:
+    """Everything the online side needs about one trained model."""
+
+    configuration: Table1Configuration
+    detector: BaseDetector
+    threshold: float
+    feature_names: List[str]
+    embedding_specs: List[tuple]
+    embedding_side: str
+    training_day: int
+    train_rows: int
+    train_frauds: int
+
+    @property
+    def version(self) -> str:
+        return f"day{self.training_day}_{self.configuration.detector.value}_{self.configuration.feature_set.value}"
+
+
+class OfflineTrainingPipeline:
+    """Offline half of TitAnt, on the simulated substrates."""
+
+    def __init__(
+        self,
+        profiles: Dict[str, UserProfile],
+        hyperparameters: Optional[ModelHyperparameters] = None,
+        *,
+        embedding_side: str = "both",
+        use_maxcompute: bool = False,
+        maxcompute_client: Optional[MaxComputeClient] = None,
+    ) -> None:
+        self.profiles = profiles
+        self.hyperparameters = hyperparameters or ModelHyperparameters.laptop_scale()
+        self.hyperparameters.validate()
+        self.embedding_side = embedding_side
+        self.use_maxcompute = use_maxcompute
+        self.maxcompute = maxcompute_client or (MaxComputeClient() if use_maxcompute else None)
+
+    # ------------------------------------------------------------------
+    # Step 1+2: network construction and embedding training
+    # ------------------------------------------------------------------
+    def prepare(
+        self,
+        dataset: DatasetSlice,
+        *,
+        need_deepwalk: bool = True,
+        need_structure2vec: bool = True,
+        embedding_dimension: Optional[int] = None,
+        deepwalk_num_walks: Optional[int] = None,
+    ) -> SlicePreparation:
+        """Build the transaction network and train the requested embeddings."""
+        hp = self.hyperparameters
+        dimension = embedding_dimension or hp.embedding_dimension
+        network = self._build_network(dataset)
+        preparation = SlicePreparation(dataset=dataset, network=network)
+
+        if need_deepwalk:
+            deepwalk = DeepWalk(
+                DeepWalkConfig(
+                    walk=RandomWalkConfig(
+                        walk_length=hp.deepwalk_walk_length,
+                        num_walks_per_node=deepwalk_num_walks or hp.deepwalk_num_walks,
+                    ),
+                    skipgram=SkipGramConfig(
+                        dimension=dimension,
+                        window=hp.deepwalk_window,
+                        epochs=hp.deepwalk_epochs,
+                    ),
+                    seed=derive_seed(hp.seed, f"deepwalk_day{dataset.spec.test_day}"),
+                )
+            )
+            deepwalk.fit(network)
+            embeddings = deepwalk.embeddings()
+            embeddings.name = "dw"
+            preparation.embeddings["dw"] = embeddings
+        if need_structure2vec:
+            labels = node_labels_from_transactions(dataset.network_transactions)
+            s2v = Structure2Vec(
+                Structure2VecConfig(
+                    dimension=dimension,
+                    epochs=hp.s2v_epochs,
+                    propagation_rounds=hp.s2v_propagation_rounds,
+                    seed=derive_seed(hp.seed, f"s2v_day{dataset.spec.test_day}"),
+                )
+            )
+            s2v.fit(network, node_labels=labels)
+            embeddings = s2v.embeddings()
+            embeddings.name = "s2v"
+            preparation.embeddings["s2v"] = embeddings
+        return preparation
+
+    def _build_network(self, dataset: DatasetSlice) -> TransactionNetwork:
+        """Aggregate the 90-day history into the transaction network.
+
+        With ``use_maxcompute`` the aggregation runs as a MapReduce job over a
+        MaxCompute table (the production path); otherwise the network is built
+        directly in memory (identical result, used by the fast harness).
+        """
+        if not self.use_maxcompute or self.maxcompute is None:
+            return build_network(dataset.network_transactions)
+        table_name = f"transactions_day{dataset.spec.test_day}"
+        self.maxcompute.load_records(
+            table_name, [txn.to_row() for txn in dataset.network_transactions]
+        )
+        result = self.maxcompute.submit_mapreduce(
+            transaction_edge_job(), table_name, result_table=f"edges_day{dataset.spec.test_day}"
+        )
+        if not result.succeeded or result.result_table is None:
+            raise ConfigurationError("edge aggregation job failed")
+        network = TransactionNetwork()
+        for row in result.result_table.rows():
+            network.add_edge(str(row["payer_id"]), str(row["payee_id"]), float(row["weight"]))
+        return network
+
+    # ------------------------------------------------------------------
+    # Step 3: detector training
+    # ------------------------------------------------------------------
+    def assembler_for(
+        self, preparation: SlicePreparation, feature_set: FeatureSetName
+    ) -> FeatureAssembler:
+        return FeatureAssembler(
+            self.profiles,
+            preparation.embedding_sets_for(feature_set),
+            embedding_side=EmbeddingSide(self.embedding_side),
+        )
+
+    def train(
+        self,
+        preparation: SlicePreparation,
+        configuration: Table1Configuration,
+        *,
+        detector: Optional[BaseDetector] = None,
+    ) -> TrainedModelBundle:
+        """Train one Table 1 configuration on the slice's training window."""
+        assembler = self.assembler_for(preparation, configuration.feature_set)
+        train_matrix = assembler.assemble(preparation.dataset.train_transactions)
+        detector = detector or build_detector(configuration.detector, self.hyperparameters)
+        detector.fit(train_matrix.values, train_matrix.labels)
+        train_scores = detector.predict_proba(train_matrix.values)
+        threshold = select_threshold(train_matrix.labels, train_scores)
+        embedding_specs = [
+            (name, embeddings.dimension)
+            for name, embeddings in preparation.embedding_sets_for(
+                configuration.feature_set
+            ).items()
+        ]
+        return TrainedModelBundle(
+            configuration=configuration,
+            detector=detector,
+            threshold=threshold,
+            feature_names=train_matrix.feature_names,
+            embedding_specs=embedding_specs,
+            embedding_side=self.embedding_side,
+            training_day=preparation.dataset.spec.test_day,
+            train_rows=train_matrix.num_rows,
+            train_frauds=int(train_matrix.labels.sum()) if train_matrix.labels is not None else 0,
+        )
+
+    def evaluate(self, preparation: SlicePreparation, bundle: TrainedModelBundle) -> FeatureMatrix:
+        """Assemble the test-day feature matrix for a trained bundle."""
+        assembler = self.assembler_for(preparation, bundle.configuration.feature_set)
+        return assembler.assemble(preparation.dataset.test_transactions)
+
+    # ------------------------------------------------------------------
+    # Step 4: publication to the online side
+    # ------------------------------------------------------------------
+    def register_model(self, registry: ModelRegistry, bundle: TrainedModelBundle) -> ModelVersion:
+        version = ModelVersion(
+            version=bundle.version,
+            model=bundle.detector,
+            threshold=bundle.threshold,
+            feature_names=bundle.feature_names,
+            embedding_specs=bundle.embedding_specs,
+            embedding_side=bundle.embedding_side,
+            training_day=bundle.training_day,
+        )
+        registry.register(version)
+        return version
+
+    def publish_features(
+        self,
+        preparation: SlicePreparation,
+        hbase: HBaseClient,
+        *,
+        table_name: str = "titant_features",
+        version: Optional[int] = None,
+    ) -> int:
+        """Upload per-user profile rows and embeddings to Ali-HBase."""
+        hbase.create_feature_store(table_name)
+        version = preparation.dataset.spec.test_day if version is None else version
+        extractor = BasicFeatureExtractor(self.profiles)
+
+        profile_rows: Dict[str, Dict[str, object]] = {}
+        for user_id, profile in self.profiles.items():
+            profile_rows[user_id] = {
+                "age": profile.age,
+                "gender": profile.gender.value,
+                "home_city": profile.home_city,
+                "account_age_days": profile.account_age_days,
+                "kyc_level": profile.kyc_level,
+                "is_merchant": profile.is_merchant,
+                "device_count": profile.device_count,
+                "community": profile.community,
+                **{
+                    f"derived_{name}": value
+                    for name, value in extractor.extract_user_features(user_id).items()
+                },
+            }
+        written = hbase.bulk_load(table_name, BASIC_FEATURES_FAMILY, profile_rows, version=version)
+
+        embedding_rows: Dict[str, Dict[str, float]] = {}
+        for set_name, embeddings in preparation.embeddings.items():
+            for node in embeddings.node_ids():
+                row = embedding_rows.setdefault(node, {})
+                vector = embeddings[node]
+                for dim, value in enumerate(vector):
+                    row[f"{set_name}_{dim}"] = float(value)
+        if embedding_rows:
+            written += hbase.bulk_load(
+                table_name, EMBEDDINGS_FAMILY, embedding_rows, version=version
+            )
+        logger.info("published %d HBase rows at version %s", written, version)
+        return written
+
+    def deploy(
+        self,
+        bundle: TrainedModelBundle,
+        preparation: SlicePreparation,
+        hbase: HBaseClient,
+        model_server: ModelServer,
+        *,
+        table_name: str = "titant_features",
+    ) -> None:
+        """Publish features and hot-load the model into a Model Server."""
+        self.publish_features(preparation, hbase, table_name=table_name)
+        model_server.config.feature_table = table_name
+        model_server.load_model(
+            bundle.detector,
+            version=bundle.version,
+            threshold=bundle.threshold,
+            embedding_specs=bundle.embedding_specs,
+            embedding_side=bundle.embedding_side,
+        )

@@ -1,0 +1,98 @@
+"""Versioned model registry.
+
+The offline trainer produces a new model file every day ("T+1"); the Model
+Server periodically picks up the latest version.  The registry stores trained
+model bundles keyed by a version string (the training day), exposes the latest
+version, and keeps enough metadata for rollback and audit — the minimum a
+production model-management loop needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.exceptions import ModelError, ServingError
+from repro.models.base import BaseDetector
+
+
+@dataclass
+class ModelVersion:
+    """Metadata of one registered model."""
+
+    version: str
+    model: BaseDetector
+    threshold: float
+    feature_names: List[str]
+    embedding_specs: List[tuple] = field(default_factory=list)
+    embedding_side: str = "both"
+    training_day: Optional[int] = None
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        return (
+            f"model {self.version} ({self.model.name}), threshold {self.threshold:.3f}, "
+            f"{len(self.feature_names)} features"
+        )
+
+
+class ModelRegistry:
+    """Append-only registry of model versions."""
+
+    def __init__(self) -> None:
+        self._versions: Dict[str, ModelVersion] = {}
+        self._order: List[str] = []
+
+    # ------------------------------------------------------------------
+    def register(self, version: ModelVersion, *, overwrite: bool = False) -> None:
+        if not version.model.is_fitted:
+            raise ModelError("only fitted models can be registered")
+        if version.version in self._versions and not overwrite:
+            raise ServingError(f"model version {version.version!r} already registered")
+        if version.version not in self._versions:
+            self._order.append(version.version)
+        self._versions[version.version] = version
+
+    def get(self, version: str) -> ModelVersion:
+        try:
+            return self._versions[version]
+        except KeyError as exc:
+            raise ServingError(f"unknown model version {version!r}") from exc
+
+    def latest(self) -> ModelVersion:
+        if not self._order:
+            raise ServingError("the registry is empty")
+        return self._versions[self._order[-1]]
+
+    def versions(self) -> List[str]:
+        return list(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, version: str) -> bool:
+        return version in self._versions
+
+    # ------------------------------------------------------------------
+    def rollback(self, *, steps: int = 1) -> ModelVersion:
+        """Return the version ``steps`` releases before the latest."""
+        if steps < 1:
+            raise ServingError("steps must be at least 1")
+        if len(self._order) <= steps:
+            raise ServingError(
+                f"cannot roll back {steps} step(s) with only {len(self._order)} version(s)"
+            )
+        return self._versions[self._order[-(steps + 1)]]
+
+    def history(self) -> List[Dict[str, object]]:
+        """Chronological audit trail of the registered versions."""
+        return [
+            {
+                "version": version,
+                "model": self._versions[version].model.name,
+                "threshold": self._versions[version].threshold,
+                "training_day": self._versions[version].training_day,
+                "metrics": dict(self._versions[version].metrics),
+            }
+            for version in self._order
+        ]

@@ -1,0 +1,51 @@
+"""Synthetic transaction-world generator.
+
+The paper evaluates TitAnt on Ant Financial production transaction logs, which
+are proprietary.  This package builds the closest synthetic equivalent that
+exercises the same code paths and preserves the statistical properties the
+evaluation depends on:
+
+* heavy class imbalance (a small fraction of transactions are fraudulent),
+* repeat-offender fraudsters (about 70 % of fraudsters defraud more than once),
+* a "gathering" topology where the victims of one fraudster are 2-hop
+  neighbours of each other through the fraudster node,
+* per-transaction context (amount, hour, channel, device, transfer city) whose
+  distribution shifts for fraudulent transfers,
+* delayed labels collected from user fraud reports.
+
+The public entry points are :class:`WorldConfig` / :func:`generate_world` for a
+full simulated horizon and :class:`DatasetBuilder` for the paper's T+1 rolling
+slices (90 days of records for the transaction network, 14 days for training,
+1 day for testing).
+"""
+
+from repro.datagen.schema import (
+    Transaction,
+    UserProfile,
+    TransactionChannel,
+    Gender,
+    CITY_FRAUD_TIERS,
+)
+from repro.datagen.profiles import ProfileConfig, ProfileGenerator
+from repro.datagen.fraud import FraudConfig, FraudsterBehaviorModel, FraudsterState
+from repro.datagen.transactions import WorldConfig, TransactionWorld, generate_world
+from repro.datagen.datasets import DatasetBuilder, DatasetSlice, RollingDatasets
+
+__all__ = [
+    "Transaction",
+    "UserProfile",
+    "TransactionChannel",
+    "Gender",
+    "CITY_FRAUD_TIERS",
+    "ProfileConfig",
+    "ProfileGenerator",
+    "FraudConfig",
+    "FraudsterBehaviorModel",
+    "FraudsterState",
+    "WorldConfig",
+    "TransactionWorld",
+    "generate_world",
+    "DatasetBuilder",
+    "DatasetSlice",
+    "RollingDatasets",
+]

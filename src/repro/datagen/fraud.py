@@ -1,0 +1,203 @@
+"""Fraudster behaviour model.
+
+The paper's key empirical observation is that roughly 70 % of fraudsters repeat
+their deceitful actions once successful, producing a "gathering" topology in
+the transaction network: many victims transfer to the same fraudster node, so
+the victims are 2-hop neighbours of each other (Figure 2 of the paper).
+
+This module models each fraudster as a small campaign process:
+
+* a fraudster is either a *repeat offender* (active over many days, accumulating
+  victims) or a *one-shot* offender (a single fraudulent transfer),
+* each active day the fraudster lures a few victims, preferentially from
+  communities it has already penetrated (which strengthens the 2-hop structure),
+* fraudulent transfers have shifted context distributions (amount, hour,
+  transfer city, device novelty, IP risk) — this is where the basic features
+  obtain their predictive power,
+* victims file fraud reports after a random delay, producing delayed labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.datagen.schema import UserProfile
+from repro.exceptions import DataGenerationError
+from repro.rng import SeedLike, ensure_rng
+
+
+@dataclass
+class FraudConfig:
+    """Parameters of the fraudster behaviour model."""
+
+    #: Fraction of fraudsters that become repeat offenders (paper: ~70 %).
+    repeat_offender_fraction: float = 0.7
+    #: Mean number of fraudulent transfers a repeat offender commits per active day.
+    frauds_per_active_day: float = 1.6
+    #: Probability that a repeat offender is active on a given day.
+    active_day_probability: float = 0.35
+    #: Mean label reporting delay in days.
+    mean_report_delay_days: float = 3.0
+    #: Fraction of victims recruited from communities already targeted.
+    community_stickiness: float = 0.75
+    #: Log-normal parameters of fraudulent transfer amounts.
+    fraud_amount_log_mean: float = 6.3
+    fraud_amount_log_sigma: float = 0.9
+
+    def validate(self) -> None:
+        if not 0.0 <= self.repeat_offender_fraction <= 1.0:
+            raise DataGenerationError("repeat_offender_fraction must be in [0, 1]")
+        if self.frauds_per_active_day <= 0:
+            raise DataGenerationError("frauds_per_active_day must be positive")
+        if not 0.0 < self.active_day_probability <= 1.0:
+            raise DataGenerationError("active_day_probability must be in (0, 1]")
+        if self.mean_report_delay_days < 0:
+            raise DataGenerationError("mean_report_delay_days must be non-negative")
+        if not 0.0 <= self.community_stickiness <= 1.0:
+            raise DataGenerationError("community_stickiness must be in [0, 1]")
+
+
+@dataclass
+class FraudsterState:
+    """Mutable per-fraudster campaign state."""
+
+    user_id: str
+    is_repeat_offender: bool
+    preferred_communities: List[int] = field(default_factory=list)
+    victims: List[str] = field(default_factory=list)
+    fraud_count: int = 0
+    one_shot_done: bool = False
+
+    @property
+    def has_repeated(self) -> bool:
+        """True once the fraudster has committed more than one fraud."""
+        return self.fraud_count > 1
+
+
+@dataclass
+class PlannedFraud:
+    """One fraudulent transfer scheduled by the behaviour model."""
+
+    day: int
+    fraudster_id: str
+    victim_id: str
+    amount: float
+    hour: int
+    report_delay_days: int
+
+
+class FraudsterBehaviorModel:
+    """Schedules fraudulent transfers for every fraudster in the population."""
+
+    def __init__(
+        self,
+        profiles: Sequence[UserProfile],
+        config: FraudConfig | None = None,
+        *,
+        rng: SeedLike = None,
+    ):
+        self.config = config or FraudConfig()
+        self.config.validate()
+        self._rng = ensure_rng(rng)
+        self._profiles = list(profiles)
+        self._profiles_by_id = {p.user_id: p for p in self._profiles}
+        self._fraudsters = [p for p in self._profiles if p.is_fraudster]
+        self._normal_users = [p for p in self._profiles if not p.is_fraudster]
+        if not self._normal_users:
+            raise DataGenerationError("population contains no normal users")
+        self._states: Dict[str, FraudsterState] = {}
+        for profile in self._fraudsters:
+            is_repeat = self._rng.random() < self.config.repeat_offender_fraction
+            self._states[profile.user_id] = FraudsterState(
+                user_id=profile.user_id,
+                is_repeat_offender=is_repeat,
+                preferred_communities=[profile.community],
+            )
+        self._normal_by_community: Dict[int, List[UserProfile]] = {}
+        for profile in self._normal_users:
+            self._normal_by_community.setdefault(profile.community, []).append(profile)
+
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> Dict[str, FraudsterState]:
+        """Read-only view of all fraudster campaign states."""
+        return dict(self._states)
+
+    def repeat_fraction(self) -> float:
+        """Fraction of fraudsters that committed more than one fraud so far."""
+        committed = [s for s in self._states.values() if s.fraud_count > 0]
+        if not committed:
+            return 0.0
+        return sum(1 for s in committed if s.has_repeated) / len(committed)
+
+    # ------------------------------------------------------------------
+    def plan_day(self, day: int) -> List[PlannedFraud]:
+        """Return the fraudulent transfers scheduled for ``day``."""
+        planned: List[PlannedFraud] = []
+        for state in self._states.values():
+            if state.is_repeat_offender:
+                if self._rng.random() >= self.config.active_day_probability:
+                    continue
+                count = max(1, int(self._rng.poisson(self.config.frauds_per_active_day)))
+            else:
+                if state.one_shot_done:
+                    continue
+                # One-shot offenders strike on a random day with low probability.
+                if self._rng.random() >= 0.02:
+                    continue
+                count = 1
+                state.one_shot_done = True
+            for _ in range(count):
+                victim = self._pick_victim(state)
+                planned.append(
+                    PlannedFraud(
+                        day=day,
+                        fraudster_id=state.user_id,
+                        victim_id=victim.user_id,
+                        amount=self._sample_amount(),
+                        hour=self._sample_hour(),
+                        report_delay_days=self._sample_report_delay(),
+                    )
+                )
+                state.victims.append(victim.user_id)
+                state.fraud_count += 1
+                if victim.community not in state.preferred_communities:
+                    state.preferred_communities.append(victim.community)
+        return planned
+
+    # ------------------------------------------------------------------
+    def _pick_victim(self, state: FraudsterState) -> UserProfile:
+        """Pick a victim, preferring communities already penetrated."""
+        if (
+            state.preferred_communities
+            and self._rng.random() < self.config.community_stickiness
+        ):
+            community = int(self._rng.choice(state.preferred_communities))
+            pool = self._normal_by_community.get(community)
+            if pool:
+                return pool[int(self._rng.integers(0, len(pool)))]
+        return self._normal_users[int(self._rng.integers(0, len(self._normal_users)))]
+
+    def _sample_amount(self) -> float:
+        cfg = self.config
+        return float(
+            np.clip(
+                self._rng.lognormal(cfg.fraud_amount_log_mean, cfg.fraud_amount_log_sigma),
+                10.0,
+                200_000.0,
+            )
+        )
+
+    def _sample_hour(self) -> int:
+        # Fraud skews toward late-night hours.
+        if self._rng.random() < 0.55:
+            return int(self._rng.integers(22, 24)) if self._rng.random() < 0.5 else int(
+                self._rng.integers(0, 6)
+            )
+        return int(self._rng.integers(0, 24))
+
+    def _sample_report_delay(self) -> int:
+        return int(np.clip(self._rng.exponential(self.config.mean_report_delay_days), 0, 30)) + 1

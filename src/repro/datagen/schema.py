@@ -1,0 +1,232 @@
+"""Data schema of the synthetic transaction world.
+
+Two record types flow through the whole reproduction:
+
+* :class:`UserProfile` — static per-user attributes (the paper's "user
+  profile" source of basic features: age, gender, home city, account age ...).
+* :class:`Transaction` — one transfer event (the paper's "transfer
+  environment" source: amount, hour, channel, device, transfer city ...).
+
+Both are plain dataclasses convertible to dictionaries so that they can be
+loaded into the MaxCompute table substrate and processed by the SQL /
+MapReduce layers exactly like the production logs in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from enum import Enum
+from typing import Dict, List, Optional
+
+
+class Gender(str, Enum):
+    """User gender as recorded in the profile store."""
+
+    FEMALE = "F"
+    MALE = "M"
+    UNKNOWN = "U"
+
+
+class TransactionChannel(str, Enum):
+    """Channel through which a transfer was initiated."""
+
+    APP = "app"
+    WEB = "web"
+    QR_CODE = "qr"
+    BANK_CARD = "bank_card"
+
+
+#: Relative fraud intensity per (synthetic) city tier.  The paper observes that
+#: "the fraudulent rates in some specific locations are always higher than
+#: other areas"; we encode that as three location tiers.
+CITY_FRAUD_TIERS: Dict[str, float] = {
+    "tier_low": 0.6,
+    "tier_mid": 1.0,
+    "tier_high": 2.4,
+}
+
+#: Number of distinct synthetic cities.  City ids are ``city_<k>``; the tier of
+#: a city is a deterministic function of ``k`` (see :func:`city_tier`).
+NUM_CITIES = 40
+
+
+def city_name(index: int) -> str:
+    """Return the canonical name of city ``index``."""
+    return f"city_{index:03d}"
+
+
+def city_tier(city: str) -> str:
+    """Map a city name to its fraud-intensity tier.
+
+    Cities are assigned tiers deterministically: one in five cities is
+    "high-risk", two in five are "mid", the rest are "low".
+    """
+    try:
+        index = int(city.rsplit("_", 1)[1])
+    except (IndexError, ValueError):
+        return "tier_mid"
+    bucket = index % 5
+    if bucket == 0:
+        return "tier_high"
+    if bucket in (1, 2):
+        return "tier_mid"
+    return "tier_low"
+
+
+@dataclass
+class UserProfile:
+    """Static profile of one account (a node in the transaction network)."""
+
+    user_id: str
+    age: int
+    gender: Gender
+    home_city: str
+    account_age_days: int
+    kyc_level: int
+    is_merchant: bool
+    device_count: int
+    community: int
+    #: Hidden generative attributes (never exposed as features).
+    is_fraudster: bool = False
+    risk_propensity: float = 0.0
+    activity_level: float = 1.0
+
+    def to_row(self) -> Dict[str, object]:
+        """Serialise the profile for the MaxCompute table substrate."""
+        row = asdict(self)
+        row["gender"] = self.gender.value
+        return row
+
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "UserProfile":
+        data = dict(row)
+        data["gender"] = Gender(data["gender"])
+        return cls(**data)  # type: ignore[arg-type]
+
+
+@dataclass
+class Transaction:
+    """One transfer from ``payer_id`` to ``payee_id``.
+
+    ``is_fraud`` is the ground-truth label; ``label_available_day`` models the
+    reporting delay of user fraud reports (labels are not observable in real
+    time, which is why the paper trains offline and predicts online).
+    """
+
+    transaction_id: str
+    day: int
+    hour: int
+    payer_id: str
+    payee_id: str
+    amount: float
+    channel: TransactionChannel
+    trans_city: str
+    device_id: str
+    is_new_device: bool
+    ip_risk_score: float
+    payer_recent_txn_count: int
+    payer_recent_amount: float
+    payee_recent_inbound_count: int
+    is_fraud: bool
+    label_available_day: int
+
+    def to_row(self) -> Dict[str, object]:
+        """Serialise the transaction for the MaxCompute table substrate."""
+        row = asdict(self)
+        row["channel"] = self.channel.value
+        return row
+
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "Transaction":
+        data = dict(row)
+        data["channel"] = TransactionChannel(data["channel"])
+        return cls(**data)  # type: ignore[arg-type]
+
+
+#: Column order used when materialising transactions as MaxCompute tables.
+TRANSACTION_COLUMNS: List[str] = [
+    "transaction_id",
+    "day",
+    "hour",
+    "payer_id",
+    "payee_id",
+    "amount",
+    "channel",
+    "trans_city",
+    "device_id",
+    "is_new_device",
+    "ip_risk_score",
+    "payer_recent_txn_count",
+    "payer_recent_amount",
+    "payee_recent_inbound_count",
+    "is_fraud",
+    "label_available_day",
+]
+
+#: Column order for the user-profile table.
+PROFILE_COLUMNS: List[str] = [
+    "user_id",
+    "age",
+    "gender",
+    "home_city",
+    "account_age_days",
+    "kyc_level",
+    "is_merchant",
+    "device_count",
+    "community",
+    "is_fraudster",
+    "risk_propensity",
+    "activity_level",
+]
+
+
+@dataclass
+class LabelRecord:
+    """A fraud report as collected from user feedback (delayed labels)."""
+
+    transaction_id: str
+    reported_day: int
+    is_fraud: bool
+
+    def to_row(self) -> Dict[str, object]:
+        return asdict(self)
+
+
+@dataclass
+class WorldSummary:
+    """Aggregate statistics of a generated world, used by tests and examples."""
+
+    num_users: int
+    num_fraudsters: int
+    num_transactions: int
+    num_fraud_transactions: int
+    days: int
+    fraud_rate: float
+    repeat_fraudster_fraction: float
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """Human-readable one-paragraph description."""
+        return (
+            f"{self.num_transactions} transactions over {self.days} days, "
+            f"{self.num_users} users ({self.num_fraudsters} fraudsters), "
+            f"fraud rate {self.fraud_rate:.3%}, "
+            f"{self.repeat_fraudster_fraction:.0%} of fraudsters repeat"
+        )
+
+
+def validate_transaction(txn: Transaction) -> Optional[str]:
+    """Return an error string if ``txn`` violates schema invariants, else None."""
+    if txn.amount <= 0:
+        return f"amount must be positive, got {txn.amount}"
+    if not 0 <= txn.hour <= 23:
+        return f"hour must be in [0, 23], got {txn.hour}"
+    if txn.payer_id == txn.payee_id:
+        return "self transfers are not allowed"
+    if txn.day < 0:
+        return f"day must be non-negative, got {txn.day}"
+    if txn.label_available_day < txn.day:
+        return "labels cannot become available before the transaction day"
+    if not 0.0 <= txn.ip_risk_score <= 1.0:
+        return f"ip_risk_score must be in [0, 1], got {txn.ip_risk_score}"
+    return None

@@ -1,0 +1,160 @@
+"""Windowed transaction-aggregation features.
+
+Transaction aggregation is one of the classical strategies the related-work
+section discusses (Whitrow et al., Jha et al.): summarise each account's
+recent history into per-user aggregates and attach them to every new
+transaction.  TitAnt supersedes this with node embeddings, but we keep the
+aggregation features as (a) an ablation baseline and (b) the source of the
+HBase per-user rows the Model Server reads online.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.datagen.schema import Transaction
+from repro.exceptions import FeatureError
+from repro.features.matrix import FeatureMatrix
+
+AGGREGATION_FEATURE_NAMES: List[str] = [
+    "agg_payer_out_count",
+    "agg_payer_out_amount_sum",
+    "agg_payer_out_amount_mean",
+    "agg_payer_out_amount_max",
+    "agg_payer_distinct_payees",
+    "agg_payer_night_fraction",
+    "agg_payee_in_count",
+    "agg_payee_in_amount_sum",
+    "agg_payee_in_amount_mean",
+    "agg_payee_in_amount_max",
+    "agg_payee_distinct_payers",
+    "agg_payee_new_payer_fraction",
+]
+
+
+@dataclass
+class AggregationConfig:
+    """Configuration of the aggregation window."""
+
+    #: Length of the look-back window, in days, relative to the scoring day.
+    window_days: int = 14
+
+    def validate(self) -> None:
+        if self.window_days <= 0:
+            raise FeatureError("window_days must be positive")
+
+
+@dataclass
+class _UserAggregate:
+    out_count: int = 0
+    out_amount_sum: float = 0.0
+    out_amount_max: float = 0.0
+    out_night_count: int = 0
+    in_count: int = 0
+    in_amount_sum: float = 0.0
+    in_amount_max: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.payees: set[str] = set()
+        self.payers: set[str] = set()
+
+
+class TransactionAggregator:
+    """Computes per-user aggregates from a history window and applies them."""
+
+    def __init__(self, config: AggregationConfig | None = None):
+        self.config = config or AggregationConfig()
+        self.config.validate()
+        self._aggregates: Dict[str, _UserAggregate] = {}
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @property
+    def feature_names(self) -> List[str]:
+        return list(AGGREGATION_FEATURE_NAMES)
+
+    def fit(self, history: Sequence[Transaction], *, as_of_day: int | None = None) -> "TransactionAggregator":
+        """Aggregate the history window ending at ``as_of_day`` (exclusive)."""
+        if as_of_day is None:
+            as_of_day = max((t.day for t in history), default=0) + 1
+        start_day = as_of_day - self.config.window_days
+        self._aggregates = {}
+        for txn in history:
+            if not start_day <= txn.day < as_of_day:
+                continue
+            payer = self._aggregates.setdefault(txn.payer_id, _UserAggregate())
+            payee = self._aggregates.setdefault(txn.payee_id, _UserAggregate())
+            payer.out_count += 1
+            payer.out_amount_sum += txn.amount
+            payer.out_amount_max = max(payer.out_amount_max, txn.amount)
+            payer.payees.add(txn.payee_id)
+            if txn.hour >= 22 or txn.hour < 6:
+                payer.out_night_count += 1
+            payee.in_count += 1
+            payee.in_amount_sum += txn.amount
+            payee.in_amount_max = max(payee.in_amount_max, txn.amount)
+            payee.payers.add(txn.payer_id)
+        self._fitted = True
+        return self
+
+    def user_row(self, user_id: str) -> Dict[str, float]:
+        """Per-user aggregate row (what the pipeline uploads to Ali-HBase)."""
+        aggregate = self._aggregates.get(user_id, _UserAggregate())
+        out_mean = aggregate.out_amount_sum / aggregate.out_count if aggregate.out_count else 0.0
+        in_mean = aggregate.in_amount_sum / aggregate.in_count if aggregate.in_count else 0.0
+        night_fraction = (
+            aggregate.out_night_count / aggregate.out_count if aggregate.out_count else 0.0
+        )
+        return {
+            "out_count": float(aggregate.out_count),
+            "out_amount_sum": aggregate.out_amount_sum,
+            "out_amount_mean": out_mean,
+            "out_amount_max": aggregate.out_amount_max,
+            "distinct_payees": float(len(aggregate.payees)),
+            "night_fraction": night_fraction,
+            "in_count": float(aggregate.in_count),
+            "in_amount_sum": aggregate.in_amount_sum,
+            "in_amount_mean": in_mean,
+            "in_amount_max": aggregate.in_amount_max,
+            "distinct_payers": float(len(aggregate.payers)),
+        }
+
+    def transform(self, transactions: Sequence[Transaction]) -> FeatureMatrix:
+        """Aggregation feature matrix for a batch of transactions."""
+        if not self._fitted:
+            raise FeatureError("TransactionAggregator must be fitted before transform")
+        rows = np.zeros((len(transactions), len(AGGREGATION_FEATURE_NAMES)))
+        for index, txn in enumerate(transactions):
+            payer = self._aggregates.get(txn.payer_id, _UserAggregate())
+            payee = self._aggregates.get(txn.payee_id, _UserAggregate())
+            payer_mean = payer.out_amount_sum / payer.out_count if payer.out_count else 0.0
+            payee_mean = payee.in_amount_sum / payee.in_count if payee.in_count else 0.0
+            night_fraction = (
+                payer.out_night_count / payer.out_count if payer.out_count else 0.0
+            )
+            new_payer_fraction = (
+                1.0 if txn.payer_id not in payee.payers else 0.0
+            )
+            rows[index] = [
+                payer.out_count,
+                payer.out_amount_sum,
+                payer_mean,
+                payer.out_amount_max,
+                len(payer.payees),
+                night_fraction,
+                payee.in_count,
+                payee.in_amount_sum,
+                payee_mean,
+                payee.in_amount_max,
+                len(payee.payers),
+                new_payer_fraction,
+            ]
+        return FeatureMatrix(
+            feature_names=self.feature_names,
+            values=rows,
+            row_ids=[t.transaction_id for t in transactions],
+            labels=np.array([float(t.is_fraud) for t in transactions]),
+        )

@@ -1,0 +1,28 @@
+"""Ali-HBase substrate simulation.
+
+Ali-HBase serves the online Model Server with per-user data: one column family
+for basic features (qualifiers ``age``, ``gender``, ``trans_city`` ...) and one
+for the user node embeddings (one qualifier per dimension), indexed by user-id
+row keys and versioned by the date-time of each offline training run
+(paper Figure 7).
+
+The simulation provides a versioned column-family store with region sharding,
+a write-ahead log, and a client API (``put`` / ``get`` / ``bulk_load`` /
+``scan``) that the offline pipeline and the Model Server share.
+"""
+
+from repro.hbase.store import Cell, ColumnFamilyStore, HBaseTable
+from repro.hbase.region import RegionServer, RegionRouter
+from repro.hbase.wal import WriteAheadLog, WALEntry
+from repro.hbase.client import HBaseClient
+
+__all__ = [
+    "Cell",
+    "ColumnFamilyStore",
+    "HBaseTable",
+    "RegionServer",
+    "RegionRouter",
+    "WriteAheadLog",
+    "WALEntry",
+    "HBaseClient",
+]

@@ -1,0 +1,154 @@
+"""HBase client API.
+
+The client is what both ends of the TitAnt system use:
+
+* the offline pipeline bulk-loads per-user basic features and node embeddings
+  after every training run (one new version per run),
+* the Model Server point-reads a user's latest row at prediction time.
+
+Writes go through the write-ahead log and the region router before reaching
+the column-family store, mirroring a real deployment's write path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import StorageError, TableNotFoundError
+from repro.hbase.region import RegionRouter
+from repro.hbase.store import HBaseTable
+from repro.hbase.wal import WriteAheadLog
+
+#: Column-family names used by the TitAnt feature store (paper Figure 7).
+BASIC_FEATURES_FAMILY = "basic_features"
+EMBEDDINGS_FAMILY = "user_node_embeddings"
+
+
+class HBaseClient:
+    """Client with table management, puts/gets, bulk load and scans."""
+
+    def __init__(self, *, num_regions: int = 4, max_versions: int = 5):
+        self._tables: Dict[str, HBaseTable] = {}
+        self._router = RegionRouter(num_regions=num_regions)
+        self._wal = WriteAheadLog()
+        self._max_versions = max_versions
+
+    # ------------------------------------------------------------------
+    # Table management
+    # ------------------------------------------------------------------
+    def create_table(
+        self, name: str, column_families: Iterable[str], *, if_not_exists: bool = True
+    ) -> HBaseTable:
+        if name in self._tables:
+            if if_not_exists:
+                return self._tables[name]
+            raise StorageError(f"HBase table {name!r} already exists")
+        table = HBaseTable(name, column_families, max_versions=self._max_versions)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> HBaseTable:
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise TableNotFoundError(f"HBase table {name!r} does not exist") from exc
+
+    def list_tables(self) -> List[str]:
+        return sorted(self._tables)
+
+    def create_feature_store(self, name: str = "titant_features") -> HBaseTable:
+        """Create the two-family table of Figure 7 (features + embeddings)."""
+        return self.create_table(name, [BASIC_FEATURES_FAMILY, EMBEDDINGS_FAMILY])
+
+    # ------------------------------------------------------------------
+    # Mutations and reads
+    # ------------------------------------------------------------------
+    def put(
+        self,
+        table_name: str,
+        row_key: str,
+        column_family: str,
+        values: Mapping[str, Any],
+        *,
+        version: int,
+    ) -> None:
+        table = self.table(table_name)
+        self._wal.append(table_name, row_key, column_family, values, version=version)
+        self._router.record_write(row_key)
+        table.put(row_key, column_family, values, version=version)
+
+    def get(
+        self,
+        table_name: str,
+        row_key: str,
+        column_family: str,
+        *,
+        version: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        table = self.table(table_name)
+        self._router.record_read(row_key)
+        return table.get(row_key, column_family, version=version)
+
+    def get_or_default(
+        self,
+        table_name: str,
+        row_key: str,
+        column_family: str,
+        *,
+        version: Optional[int] = None,
+        default: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Point read that degrades to ``default`` for unseen users.
+
+        A brand-new account has no row yet; the online predictor must still
+        answer, so it falls back to a neutral default row.  A missing *table*
+        is still an error — that is a deployment problem, not a cold user.
+        """
+        from repro.exceptions import RowNotFoundError
+
+        try:
+            return self.get(table_name, row_key, column_family, version=version)
+        except RowNotFoundError:
+            return dict(default or {})
+
+    def bulk_load(
+        self,
+        table_name: str,
+        column_family: str,
+        rows: Mapping[str, Mapping[str, Any]],
+        *,
+        version: int,
+    ) -> int:
+        """Load many rows in one call (the offline pipeline's daily upload)."""
+        count = 0
+        for row_key, values in rows.items():
+            self.put(table_name, row_key, column_family, values, version=version)
+            count += 1
+        return count
+
+    def scan(
+        self,
+        table_name: str,
+        column_family: str,
+        *,
+        prefix: str = "",
+        version: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        return self.table(table_name).scan(
+            column_family, prefix=prefix, version=version, limit=limit
+        )
+
+    # ------------------------------------------------------------------
+    # Operational introspection
+    # ------------------------------------------------------------------
+    def region_load_report(self) -> Dict[int, Dict[str, int]]:
+        return self._router.load_report()
+
+    def wal_size(self) -> int:
+        return len(self._wal)
+
+    def replay_wal_into(self, table_name: str) -> int:
+        """Rebuild a (fresh) table from the WAL after a simulated crash."""
+        table = self.table(table_name)
+        return self._wal.replay(table, table_name=table_name)

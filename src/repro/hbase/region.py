@@ -1,0 +1,69 @@
+"""Region sharding.
+
+HBase distributes a table's row-key space across region servers.  The
+simulation hashes row keys onto a configurable number of regions so that the
+client exercises the same routing step a real deployment performs, and so the
+tests can assert that load spreads across regions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.exceptions import StorageError
+
+
+@dataclass
+class RegionServer:
+    """One region server: counts the requests routed to it."""
+
+    server_id: int
+    read_requests: int = 0
+    write_requests: int = 0
+    rows_hosted: set = field(default_factory=set)
+
+    def record_write(self, row_key: str) -> None:
+        self.write_requests += 1
+        self.rows_hosted.add(row_key)
+
+    def record_read(self) -> None:
+        self.read_requests += 1
+
+
+class RegionRouter:
+    """Deterministically routes row keys to region servers."""
+
+    def __init__(self, num_regions: int = 4):
+        if num_regions < 1:
+            raise StorageError("num_regions must be at least 1")
+        self.servers: List[RegionServer] = [RegionServer(server_id=i) for i in range(num_regions)]
+
+    # ------------------------------------------------------------------
+    def region_for(self, row_key: str) -> RegionServer:
+        digest = hashlib.md5(row_key.encode("utf-8")).digest()
+        index = int.from_bytes(digest[:4], "big") % len(self.servers)
+        return self.servers[index]
+
+    def record_write(self, row_key: str) -> RegionServer:
+        server = self.region_for(row_key)
+        server.record_write(row_key)
+        return server
+
+    def record_read(self, row_key: str) -> RegionServer:
+        server = self.region_for(row_key)
+        server.record_read()
+        return server
+
+    # ------------------------------------------------------------------
+    def load_report(self) -> Dict[int, Dict[str, int]]:
+        """Per-region request counts (used to verify balanced routing)."""
+        return {
+            server.server_id: {
+                "reads": server.read_requests,
+                "writes": server.write_requests,
+                "rows": len(server.rows_hosted),
+            }
+            for server in self.servers
+        }

@@ -1,0 +1,178 @@
+"""Versioned column-family storage.
+
+The data model follows HBase/Bigtable: a table has named column families,
+each cell is addressed by (row key, column family, qualifier) and keeps
+multiple timestamped versions.  ``get`` returns the latest version by default
+or the latest at/before a requested version — exactly what the Model Server
+needs when it reads "the latest version of user node embeddings and basic
+features" uploaded by each offline training run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import RowNotFoundError, StorageError
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One versioned cell value."""
+
+    row_key: str
+    column_family: str
+    qualifier: str
+    value: Any
+    version: int
+
+
+class ColumnFamilyStore:
+    """Cells of a single column family, organised by row key and qualifier."""
+
+    def __init__(self, name: str, *, max_versions: int = 5):
+        if max_versions < 1:
+            raise StorageError("max_versions must be at least 1")
+        self.name = name
+        self.max_versions = max_versions
+        #: row_key -> qualifier -> list of (version, value), newest last.
+        self._rows: Dict[str, Dict[str, List[Tuple[int, Any]]]] = {}
+
+    # ------------------------------------------------------------------
+    def put(self, row_key: str, qualifier: str, value: Any, *, version: int) -> None:
+        qualifiers = self._rows.setdefault(row_key, {})
+        versions = qualifiers.setdefault(qualifier, [])
+        versions.append((version, value))
+        versions.sort(key=lambda item: item[0])
+        if len(versions) > self.max_versions:
+            del versions[: len(versions) - self.max_versions]
+
+    def get(
+        self, row_key: str, qualifier: str, *, version: Optional[int] = None
+    ) -> Any:
+        versions = self._rows.get(row_key, {}).get(qualifier)
+        if not versions:
+            raise RowNotFoundError(
+                f"no cell for row {row_key!r} qualifier {qualifier!r} in family {self.name!r}"
+            )
+        if version is None:
+            return versions[-1][1]
+        eligible = [value for cell_version, value in versions if cell_version <= version]
+        if not eligible:
+            raise RowNotFoundError(
+                f"no version <= {version} for row {row_key!r} qualifier {qualifier!r}"
+            )
+        return eligible[-1]
+
+    def get_row(self, row_key: str, *, version: Optional[int] = None) -> Dict[str, Any]:
+        qualifiers = self._rows.get(row_key)
+        if not qualifiers:
+            raise RowNotFoundError(f"row {row_key!r} not found in family {self.name!r}")
+        result: Dict[str, Any] = {}
+        for qualifier in qualifiers:
+            try:
+                result[qualifier] = self.get(row_key, qualifier, version=version)
+            except RowNotFoundError:
+                continue
+        if not result:
+            raise RowNotFoundError(
+                f"row {row_key!r} has no cells at or before version {version}"
+            )
+        return result
+
+    def has_row(self, row_key: str) -> bool:
+        return row_key in self._rows
+
+    def row_keys(self) -> List[str]:
+        return sorted(self._rows)
+
+    def cell_versions(self, row_key: str, qualifier: str) -> List[int]:
+        return [version for version, _ in self._rows.get(row_key, {}).get(qualifier, [])]
+
+
+class HBaseTable:
+    """A table: named column families sharing the row-key space."""
+
+    def __init__(self, name: str, column_families: Iterable[str], *, max_versions: int = 5):
+        families = list(column_families)
+        if not families:
+            raise StorageError("an HBase table needs at least one column family")
+        if len(set(families)) != len(families):
+            raise StorageError("duplicate column family names")
+        self.name = name
+        self._families: Dict[str, ColumnFamilyStore] = {
+            family: ColumnFamilyStore(family, max_versions=max_versions) for family in families
+        }
+
+    # ------------------------------------------------------------------
+    def family(self, name: str) -> ColumnFamilyStore:
+        try:
+            return self._families[name]
+        except KeyError as exc:
+            raise StorageError(f"unknown column family {name!r} in table {self.name!r}") from exc
+
+    def column_families(self) -> List[str]:
+        return list(self._families)
+
+    def put(
+        self,
+        row_key: str,
+        column_family: str,
+        values: Mapping[str, Any],
+        *,
+        version: int,
+    ) -> None:
+        """Write several qualifiers of one row in one call."""
+        family = self.family(column_family)
+        for qualifier, value in values.items():
+            family.put(row_key, qualifier, value, version=version)
+
+    def get(
+        self,
+        row_key: str,
+        column_family: str,
+        *,
+        version: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        return self.family(column_family).get_row(row_key, version=version)
+
+    def get_cell(
+        self,
+        row_key: str,
+        column_family: str,
+        qualifier: str,
+        *,
+        version: Optional[int] = None,
+    ) -> Any:
+        return self.family(column_family).get(row_key, qualifier, version=version)
+
+    def has_row(self, row_key: str) -> bool:
+        return any(family.has_row(row_key) for family in self._families.values())
+
+    def row_keys(self) -> List[str]:
+        keys = set()
+        for family in self._families.values():
+            keys.update(family.row_keys())
+        return sorted(keys)
+
+    def scan(
+        self,
+        column_family: str,
+        *,
+        prefix: str = "",
+        version: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[Tuple[str, Dict[str, Any]]]:
+        """Ordered scan of (row key, row dict) pairs, optionally prefix-filtered."""
+        family = self.family(column_family)
+        results: List[Tuple[str, Dict[str, Any]]] = []
+        for row_key in family.row_keys():
+            if prefix and not row_key.startswith(prefix):
+                continue
+            try:
+                results.append((row_key, family.get_row(row_key, version=version)))
+            except RowNotFoundError:
+                continue
+            if limit is not None and len(results) >= limit:
+                break
+        return results

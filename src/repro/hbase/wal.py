@@ -1,0 +1,83 @@
+"""Write-ahead log.
+
+Every mutation is appended to the WAL before it is applied to the store, so a
+crashed region server can replay its log.  The simulation keeps the log in
+memory (optionally bounded) and supports replay onto a fresh table — used by
+the durability tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.exceptions import StorageError
+
+
+@dataclass(frozen=True)
+class WALEntry:
+    """One logged mutation."""
+
+    sequence: int
+    table: str
+    row_key: str
+    column_family: str
+    values: Dict[str, Any]
+    version: int
+
+
+class WriteAheadLog:
+    """Append-only mutation log with replay support."""
+
+    def __init__(self, *, max_entries: Optional[int] = None):
+        if max_entries is not None and max_entries < 1:
+            raise StorageError("max_entries must be positive when set")
+        self._entries: List[WALEntry] = []
+        self._sequence = 0
+        self.max_entries = max_entries
+
+    # ------------------------------------------------------------------
+    def append(
+        self,
+        table: str,
+        row_key: str,
+        column_family: str,
+        values: Mapping[str, Any],
+        *,
+        version: int,
+    ) -> WALEntry:
+        self._sequence += 1
+        entry = WALEntry(
+            sequence=self._sequence,
+            table=table,
+            row_key=row_key,
+            column_family=column_family,
+            values=dict(values),
+            version=version,
+        )
+        self._entries.append(entry)
+        if self.max_entries is not None and len(self._entries) > self.max_entries:
+            del self._entries[: len(self._entries) - self.max_entries]
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self, *, table: Optional[str] = None) -> List[WALEntry]:
+        if table is None:
+            return list(self._entries)
+        return [entry for entry in self._entries if entry.table == table]
+
+    def last_sequence(self) -> int:
+        return self._sequence
+
+    # ------------------------------------------------------------------
+    def replay(self, table_object, *, table_name: Optional[str] = None) -> int:
+        """Re-apply the logged mutations to ``table_object``; returns the count."""
+        replayed = 0
+        for entry in self.entries(table=table_name):
+            table_object.put(
+                entry.row_key, entry.column_family, entry.values, version=entry.version
+            )
+            replayed += 1
+        return replayed

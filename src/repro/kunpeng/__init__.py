@@ -1,0 +1,43 @@
+"""KunPeng parameter-server substrate simulation.
+
+KunPeng is Ant Financial's parameter-server (PS) based distributed learning
+platform: server nodes store model parameters, worker nodes train on data
+partitions, and Pull/Push operations exchange parameters and gradients.  It
+tolerates single-point worker failures (a failed instance restarts and
+recovers while the others keep going) and supports data and model parallelism.
+
+The simulation runs every node in process but preserves the execution
+semantics the paper relies on:
+
+* row-partitioned parameter storage across server nodes with Pull/Push and
+  model averaging (:mod:`repro.kunpeng.server`, :mod:`repro.kunpeng.cluster`),
+* worker data partitions and synchronous training rounds
+  (:mod:`repro.kunpeng.worker`),
+* failure injection and recovery (:mod:`repro.kunpeng.failover`),
+* a calibrated cost model that converts the simulated cluster's workload into
+  wall-clock estimates per machine count — the quantity Figure 10 plots
+  (:mod:`repro.kunpeng.cost_model`).
+"""
+
+from repro.kunpeng.server import ParameterServerNode
+from repro.kunpeng.worker import WorkerNode
+from repro.kunpeng.cluster import KunPengCluster, ClusterConfig
+from repro.kunpeng.cost_model import (
+    ClusterCostModel,
+    TrainingTimeEstimate,
+    estimate_deepwalk_time,
+    estimate_gbdt_time,
+)
+from repro.kunpeng.failover import FailureInjector
+
+__all__ = [
+    "ParameterServerNode",
+    "WorkerNode",
+    "KunPengCluster",
+    "ClusterConfig",
+    "ClusterCostModel",
+    "TrainingTimeEstimate",
+    "estimate_deepwalk_time",
+    "estimate_gbdt_time",
+    "FailureInjector",
+]

@@ -1,0 +1,192 @@
+"""The KunPeng cluster: servers + workers + parameter routing.
+
+The paper's deployment assigns half of the machines as server nodes and half
+as worker nodes (Section 5.2).  The cluster object owns both pools, partitions
+each named parameter matrix row-wise across the servers, routes Pull/Push
+requests to the owning server, and records the communication volume so that
+the cost model can turn a training run into the per-machine-count timings of
+Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ParameterServerError
+from repro.kunpeng.server import ParameterServerNode
+from repro.kunpeng.worker import WorkerNode
+
+
+@dataclass
+class ClusterConfig:
+    """Sizing of a KunPeng cluster.
+
+    ``num_machines`` is the total machine count (the x axis of Figure 10);
+    ``server_fraction`` defaults to one half, per the paper.
+    """
+
+    num_machines: int = 4
+    server_fraction: float = 0.5
+
+    def validate(self) -> None:
+        if self.num_machines < 2:
+            raise ParameterServerError("a cluster needs at least 2 machines")
+        if not 0.0 < self.server_fraction < 1.0:
+            raise ParameterServerError("server_fraction must be in (0, 1)")
+
+    @property
+    def num_servers(self) -> int:
+        return max(1, int(round(self.num_machines * self.server_fraction)))
+
+    @property
+    def num_workers(self) -> int:
+        return max(1, self.num_machines - self.num_servers)
+
+
+@dataclass
+class CommunicationLog:
+    """Aggregate communication counters of one training run."""
+
+    pull_requests: int = 0
+    push_requests: int = 0
+    values_transferred: int = 0
+
+    def record_pull(self, num_values: int) -> None:
+        self.pull_requests += 1
+        self.values_transferred += num_values
+
+    def record_push(self, num_values: int) -> None:
+        self.push_requests += 1
+        self.values_transferred += num_values
+
+
+class KunPengCluster:
+    """A simulated PS cluster: parameter routing plus workload accounting."""
+
+    def __init__(self, config: ClusterConfig | None = None):
+        self.config = config or ClusterConfig()
+        self.config.validate()
+        self.servers: List[ParameterServerNode] = [
+            ParameterServerNode(node_id=i) for i in range(self.config.num_servers)
+        ]
+        self.workers: List[WorkerNode] = [
+            WorkerNode(node_id=i) for i in range(self.config.num_workers)
+        ]
+        self.communication = CommunicationLog()
+        #: ``name -> list of (row_start, row_end, server index)``
+        self._placements: Dict[str, List[Tuple[int, int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Parameter placement and routing
+    # ------------------------------------------------------------------
+    def create_parameter(self, name: str, matrix: np.ndarray) -> None:
+        """Partition ``matrix`` row-wise across the server nodes."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ParameterServerError("parameters must be 2-dimensional matrices")
+        if name in self._placements:
+            raise ParameterServerError(f"parameter {name!r} already exists")
+        num_rows = matrix.shape[0]
+        num_servers = len(self.servers)
+        boundaries = np.linspace(0, num_rows, num_servers + 1).astype(int)
+        placements: List[Tuple[int, int, int]] = []
+        for server_index in range(num_servers):
+            row_start, row_end = int(boundaries[server_index]), int(boundaries[server_index + 1])
+            if row_end <= row_start:
+                continue
+            self.servers[server_index].host_shard(
+                name, row_start, row_end, matrix[row_start:row_end]
+            )
+            placements.append((row_start, row_end, server_index))
+        self._placements[name] = placements
+
+    def _owner(self, name: str, row: int) -> ParameterServerNode:
+        for row_start, row_end, server_index in self._placements.get(name, []):
+            if row_start <= row < row_end:
+                return self.servers[server_index]
+        raise ParameterServerError(f"no server hosts row {row} of parameter {name!r}")
+
+    def pull_rows(self, name: str, rows: Iterable[int]) -> Dict[int, np.ndarray]:
+        """Pull a set of global rows, fanning out to the owning servers."""
+        rows = list(rows)
+        by_server: Dict[int, List[int]] = {}
+        for row in rows:
+            server = self._owner(name, row)
+            by_server.setdefault(server.node_id, []).append(row)
+        result: Dict[int, np.ndarray] = {}
+        for server_id, server_rows in by_server.items():
+            result.update(self.servers[server_id].pull(name, server_rows))
+            self.communication.record_pull(len(server_rows))
+        return result
+
+    def pull_matrix(self, name: str) -> np.ndarray:
+        """Reassemble the full parameter matrix (checkpoint / final download)."""
+        if name not in self._placements:
+            raise ParameterServerError(f"unknown parameter {name!r}")
+        placements = sorted(self._placements[name])
+        pieces = []
+        for row_start, row_end, server_index in placements:
+            shard = self.servers[server_index].pull_all(name)
+            self.communication.record_pull(row_end - row_start)
+            pieces.append(shard)
+        return np.vstack(pieces)
+
+    def push_gradients(
+        self,
+        name: str,
+        gradients: Dict[int, np.ndarray],
+        *,
+        learning_rate: float = 1.0,
+    ) -> None:
+        """Push sparse row gradients to their owning servers."""
+        by_server: Dict[int, Dict[int, np.ndarray]] = {}
+        for row, gradient in gradients.items():
+            server = self._owner(name, row)
+            by_server.setdefault(server.node_id, {})[row] = gradient
+        for server_id, server_gradients in by_server.items():
+            self.servers[server_id].push(name, server_gradients, learning_rate=learning_rate)
+            self.communication.record_push(len(server_gradients))
+
+    def push_model_average(self, name: str, replicas: Sequence[np.ndarray]) -> None:
+        """Average full worker replicas of a parameter matrix (word2vec style)."""
+        if name not in self._placements:
+            raise ParameterServerError(f"unknown parameter {name!r}")
+        for row_start, row_end, server_index in self._placements[name]:
+            shard_replicas = [replica[row_start:row_end] for replica in replicas]
+            self.servers[server_index].push_average(name, shard_replicas)
+            self.communication.record_push((row_end - row_start) * len(replicas))
+
+    # ------------------------------------------------------------------
+    # Data parallelism helpers
+    # ------------------------------------------------------------------
+    def scatter_data(self, items: Sequence[object]) -> None:
+        """Round-robin the training items across worker partitions."""
+        partitions: List[List[object]] = [[] for _ in self.workers]
+        for index, item in enumerate(items):
+            partitions[index % len(self.workers)].append(item)
+        for worker, partition in zip(self.workers, partitions):
+            worker.assign_partition(partition)
+
+    def alive_workers(self) -> List[WorkerNode]:
+        return [worker for worker in self.workers if worker.alive]
+
+    # ------------------------------------------------------------------
+    def workload_summary(self) -> Dict[str, float]:
+        """Totals feeding the cost model: compute units and communication volume."""
+        return {
+            "num_machines": float(self.config.num_machines),
+            "num_servers": float(len(self.servers)),
+            "num_workers": float(len(self.workers)),
+            "worker_compute_units": float(
+                sum(worker.stats.compute_units for worker in self.workers)
+            ),
+            "max_worker_compute_units": float(
+                max((worker.stats.compute_units for worker in self.workers), default=0.0)
+            ),
+            "pull_requests": float(self.communication.pull_requests),
+            "push_requests": float(self.communication.push_requests),
+            "values_transferred": float(self.communication.values_transferred),
+        }

@@ -1,0 +1,125 @@
+"""Parameter-server nodes.
+
+A server node owns a contiguous row range of each named parameter matrix.
+Workers ``pull`` the rows they need, compute gradients locally, and ``push``
+them back; the server applies the update (plain SGD step) or, for the model
+averaging used by the paper's word2vec reimplementation, replaces rows with
+the average of the workers' copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ParameterServerError
+
+
+@dataclass
+class _Shard:
+    """One server-resident shard: rows [row_start, row_end) of a matrix."""
+
+    name: str
+    row_start: int
+    row_end: int
+    values: np.ndarray
+
+    def contains(self, row: int) -> bool:
+        return self.row_start <= row < self.row_end
+
+
+class ParameterServerNode:
+    """One server node holding shards of named parameter matrices."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self._shards: Dict[str, _Shard] = {}
+        self.pull_count = 0
+        self.push_count = 0
+
+    # ------------------------------------------------------------------
+    def host_shard(self, name: str, row_start: int, row_end: int, values: np.ndarray) -> None:
+        """Install a shard (rows ``[row_start, row_end)``) of parameter ``name``."""
+        if row_end <= row_start:
+            raise ParameterServerError("shard row range must be non-empty")
+        if values.shape[0] != row_end - row_start:
+            raise ParameterServerError(
+                f"shard values have {values.shape[0]} rows, expected {row_end - row_start}"
+            )
+        self._shards[name] = _Shard(
+            name=name, row_start=row_start, row_end=row_end, values=values.astype(np.float64)
+        )
+
+    def has_parameter(self, name: str) -> bool:
+        return name in self._shards
+
+    def shard_range(self, name: str) -> Tuple[int, int]:
+        shard = self._get(name)
+        return shard.row_start, shard.row_end
+
+    def _get(self, name: str) -> _Shard:
+        try:
+            return self._shards[name]
+        except KeyError as exc:
+            raise ParameterServerError(
+                f"server {self.node_id} does not host parameter {name!r}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def pull(self, name: str, rows: Iterable[int]) -> Dict[int, np.ndarray]:
+        """Return copies of the requested rows (global row indices)."""
+        shard = self._get(name)
+        self.pull_count += 1
+        result: Dict[int, np.ndarray] = {}
+        for row in rows:
+            if not shard.contains(row):
+                raise ParameterServerError(
+                    f"row {row} of {name!r} is not hosted on server {self.node_id}"
+                )
+            result[row] = shard.values[row - shard.row_start].copy()
+        return result
+
+    def pull_all(self, name: str) -> np.ndarray:
+        """Copy of the whole shard (used by model averaging and checkpoints)."""
+        self.pull_count += 1
+        return self._get(name).values.copy()
+
+    def push(
+        self,
+        name: str,
+        gradients: Dict[int, np.ndarray],
+        *,
+        learning_rate: float = 1.0,
+    ) -> None:
+        """Apply ``values -= learning_rate * gradient`` for each pushed row."""
+        shard = self._get(name)
+        self.push_count += 1
+        for row, gradient in gradients.items():
+            if not shard.contains(row):
+                raise ParameterServerError(
+                    f"row {row} of {name!r} is not hosted on server {self.node_id}"
+                )
+            shard.values[row - shard.row_start] -= learning_rate * gradient
+
+    def push_average(self, name: str, replicas: List[np.ndarray]) -> None:
+        """Model averaging: replace the shard with the mean of worker replicas.
+
+        This is the aggregation step the paper describes for the word2vec
+        reimplementation ("server nodes pull the new embeddings and aggregate
+        them by executing the model average operation").
+        """
+        if not replicas:
+            raise ParameterServerError("push_average needs at least one replica")
+        shard = self._get(name)
+        self.push_count += 1
+        stacked = np.stack([np.asarray(r, dtype=np.float64) for r in replicas])
+        if stacked.shape[1:] != shard.values.shape:
+            raise ParameterServerError("replica shape does not match the hosted shard")
+        shard.values = stacked.mean(axis=0)
+
+    # ------------------------------------------------------------------
+    def traffic(self) -> Dict[str, int]:
+        """Pull/push counters, consumed by the communication cost model."""
+        return {"pulls": self.pull_count, "pushes": self.push_count}

@@ -1,0 +1,49 @@
+"""MaxCompute (ODPS) substrate simulation.
+
+The paper stores and prepares all offline data on MaxCompute: transaction
+logs land there, SQL and MapReduce jobs extract basic features / labels and
+build the transaction network, and the learned artefacts are written back.
+MaxCompute has three logical layers (Figure 4): a client layer (web console /
+HTTP server), a server layer (workers, executors, scheduler, the OTS instance
+status service) and a storage & compute layer (Pangu storage, Fuxi resource
+scheduling).
+
+This package reproduces that execution model in process:
+
+* :mod:`repro.maxcompute.table` / :mod:`repro.maxcompute.storage` — columnar
+  tables persisted in a Pangu-like store,
+* :mod:`repro.maxcompute.sql` — a small SQL subset (SELECT / WHERE / GROUP BY /
+  ORDER BY / LIMIT with aggregates) with a parser, planner and executor,
+* :mod:`repro.maxcompute.mapreduce` — a MapReduce engine over tables,
+* :mod:`repro.maxcompute.ots` / :mod:`repro.maxcompute.scheduler` — job
+  instances, subtasks, resource slots and status tracking,
+* :mod:`repro.maxcompute.client` — the developer-facing client that submits
+  SQL / MapReduce jobs and waits for their completion.
+"""
+
+from repro.maxcompute.table import Column, ColumnType, Schema, Table
+from repro.maxcompute.storage import PanguStorage
+from repro.maxcompute.catalog import TableCatalog
+from repro.maxcompute.ots import OpenTableService, InstanceStatus, InstanceRecord
+from repro.maxcompute.scheduler import FuxiScheduler, JobInstance, SubTask
+from repro.maxcompute.mapreduce import MapReduceJob, run_mapreduce
+from repro.maxcompute.client import MaxComputeClient, JobResult
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Schema",
+    "Table",
+    "PanguStorage",
+    "TableCatalog",
+    "OpenTableService",
+    "InstanceStatus",
+    "InstanceRecord",
+    "FuxiScheduler",
+    "JobInstance",
+    "SubTask",
+    "MapReduceJob",
+    "run_mapreduce",
+    "MaxComputeClient",
+    "JobResult",
+]

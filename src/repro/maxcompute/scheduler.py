@@ -1,0 +1,178 @@
+"""Fuxi-like job scheduling.
+
+The MaxCompute server layer splits a job instance into subtasks, queues them
+in priority order, waits for compute resources and dispatches them to
+executors; when every subtask finishes the executor marks the instance
+"terminated" in OTS.  The simulation reproduces that control flow with a slot
+pool standing in for Fuxi's cluster resources: it is deliberately synchronous
+(a subtask "runs" by calling its Python callable) but preserves the queueing,
+priority, resource accounting and status transitions.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exceptions import JobError, ResourceExhaustedError
+from repro.logging_utils import get_logger
+from repro.maxcompute.ots import InstanceStatus, OpenTableService
+
+logger = get_logger("maxcompute.scheduler")
+
+
+@dataclass
+class SubTask:
+    """One schedulable unit of work."""
+
+    task_id: str
+    instance_id: str
+    callable: Callable[[], Any]
+    priority: int = 10
+    slots_required: int = 1
+    result: Any = None
+    completed: bool = False
+    error: Optional[str] = None
+
+
+@dataclass
+class JobInstance:
+    """A job instance: a set of subtasks tracked in OTS."""
+
+    instance_id: str
+    job_name: str
+    job_type: str
+    subtasks: List[SubTask] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        return all(task.completed for task in self.subtasks)
+
+    @property
+    def failed(self) -> bool:
+        return any(task.error is not None for task in self.subtasks)
+
+    def results(self) -> List[Any]:
+        return [task.result for task in self.subtasks]
+
+
+class FuxiScheduler:
+    """Priority task pool with a fixed number of resource slots."""
+
+    def __init__(
+        self,
+        ots: Optional[OpenTableService] = None,
+        *,
+        total_slots: int = 8,
+    ) -> None:
+        if total_slots < 1:
+            raise JobError("total_slots must be at least 1")
+        self.ots = ots or OpenTableService()
+        self.total_slots = total_slots
+        self._task_counter = itertools.count(1)
+        self._queue: List[tuple[int, int, SubTask]] = []
+        self._instances: Dict[str, JobInstance] = {}
+        self._slots_in_use = 0
+        self.completed_tasks = 0
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        job_name: str,
+        job_type: str,
+        callables: List[Callable[[], Any]],
+        *,
+        priority: int = 10,
+        slots_per_task: int = 1,
+    ) -> JobInstance:
+        """Register a job instance and enqueue one subtask per callable."""
+        if not callables:
+            raise JobError("a job needs at least one subtask")
+        if slots_per_task > self.total_slots:
+            raise ResourceExhaustedError(
+                f"a subtask requires {slots_per_task} slots but only "
+                f"{self.total_slots} exist in the cluster"
+            )
+        record = self.ots.register(job_name, job_type)
+        instance = JobInstance(
+            instance_id=record.instance_id, job_name=job_name, job_type=job_type
+        )
+        for callable_ in callables:
+            task = SubTask(
+                task_id=f"task_{next(self._task_counter):08d}",
+                instance_id=record.instance_id,
+                callable=callable_,
+                priority=priority,
+                slots_required=slots_per_task,
+            )
+            instance.subtasks.append(task)
+            heapq.heappush(self._queue, (priority, next(self._task_counter), task))
+        self._instances[record.instance_id] = instance
+        self.ots.set_status(record.instance_id, InstanceStatus.RUNNING, progress=0.0)
+        logger.debug("submitted %s with %d subtasks", job_name, len(callables))
+        return instance
+
+    # ------------------------------------------------------------------
+    def run_pending(self) -> int:
+        """Drain the task queue; returns the number of subtasks executed."""
+        executed = 0
+        while self._queue:
+            _, _, task = heapq.heappop(self._queue)
+            self._execute(task)
+            executed += 1
+        return executed
+
+    def run_instance(self, instance_id: str) -> JobInstance:
+        """Run every queued subtask, then return the (finished) instance."""
+        if instance_id not in self._instances:
+            raise JobError(f"unknown instance {instance_id!r}")
+        self.run_pending()
+        return self._instances[instance_id]
+
+    # ------------------------------------------------------------------
+    def _execute(self, task: SubTask) -> None:
+        if self._slots_in_use + task.slots_required > self.total_slots:
+            # Synchronous simulation: resources always free up between tasks,
+            # so exceeding the pool here means a single task is too large.
+            raise ResourceExhaustedError(
+                f"subtask {task.task_id} needs {task.slots_required} slots, "
+                f"{self.total_slots - self._slots_in_use} available"
+            )
+        self._slots_in_use += task.slots_required
+        try:
+            task.result = task.callable()
+        except Exception as exc:  # noqa: BLE001 - propagate via instance status
+            task.error = str(exc)
+            logger.warning("subtask %s failed: %s", task.task_id, exc)
+        finally:
+            task.completed = True
+            self._slots_in_use -= task.slots_required
+            self.completed_tasks += 1
+            self._refresh_instance(task.instance_id)
+
+    def _refresh_instance(self, instance_id: str) -> None:
+        instance = self._instances[instance_id]
+        done = sum(1 for task in instance.subtasks if task.completed)
+        progress = done / len(instance.subtasks)
+        if instance.failed and instance.completed:
+            self.ots.set_status(
+                instance_id,
+                InstanceStatus.FAILED,
+                progress=progress,
+                message="; ".join(t.error for t in instance.subtasks if t.error),
+            )
+        elif instance.completed:
+            self.ots.set_status(instance_id, InstanceStatus.TERMINATED, progress=1.0)
+        else:
+            self.ots.update_progress(instance_id, progress)
+
+    # ------------------------------------------------------------------
+    def instance(self, instance_id: str) -> JobInstance:
+        if instance_id not in self._instances:
+            raise JobError(f"unknown instance {instance_id!r}")
+        return self._instances[instance_id]
+
+    def queue_depth(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,13 @@
+"""Mini SQL engine over MaxCompute tables.
+
+Supports the subset the offline feature/label extraction jobs of the paper
+need: ``SELECT`` projections and aggregates, ``WHERE`` filters with boolean
+logic, ``GROUP BY``, ``ORDER BY`` and ``LIMIT``.  Statements are parsed into a
+small AST (:mod:`repro.maxcompute.sql.parser`), planned and executed against
+the columnar tables (:mod:`repro.maxcompute.sql.executor`).
+"""
+
+from repro.maxcompute.sql.parser import parse_sql, SelectStatement
+from repro.maxcompute.sql.executor import SQLExecutor
+
+__all__ = ["parse_sql", "SelectStatement", "SQLExecutor"]

@@ -1,0 +1,195 @@
+"""SQL execution over columnar tables.
+
+The executor evaluates a parsed :class:`~repro.maxcompute.sql.parser.SelectStatement`
+against the catalog: filter (WHERE) → group / aggregate (GROUP BY) → project →
+sort (ORDER BY) → truncate (LIMIT).  Results are returned as new in-memory
+:class:`~repro.maxcompute.table.Table` objects so downstream jobs can consume
+them like any other table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import SQLPlanError
+from repro.maxcompute.catalog import TableCatalog
+from repro.maxcompute.sql.parser import (
+    Aggregate,
+    BooleanOp,
+    ColumnRef,
+    Comparison,
+    Condition,
+    InList,
+    Not,
+    SelectStatement,
+    parse_sql,
+)
+from repro.maxcompute.table import Schema, Table, table_from_records
+
+
+def _compare(left: Any, operator: str, right: Any) -> bool:
+    if left is None or right is None:
+        # SQL three-valued logic collapsed to False for simplicity.
+        return False
+    if operator == "=":
+        return left == right
+    if operator == "!=":
+        return left != right
+    try:
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+        if operator == ">":
+            return left > right
+        if operator == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise SQLPlanError(f"cannot compare {left!r} and {right!r}") from exc
+    raise SQLPlanError(f"unknown operator {operator!r}")
+
+
+def evaluate_condition(condition: Condition, row: Dict[str, Any]) -> bool:
+    """Evaluate a WHERE condition against one row."""
+    if isinstance(condition, Comparison):
+        if condition.column not in row:
+            raise SQLPlanError(f"unknown column {condition.column!r} in WHERE clause")
+        return _compare(row[condition.column], condition.operator, condition.value)
+    if isinstance(condition, InList):
+        if condition.column not in row:
+            raise SQLPlanError(f"unknown column {condition.column!r} in WHERE clause")
+        return row[condition.column] in condition.values
+    if isinstance(condition, Not):
+        return not evaluate_condition(condition.operand, row)
+    if isinstance(condition, BooleanOp):
+        if condition.operator == "and":
+            return all(evaluate_condition(op, row) for op in condition.operands)
+        return any(evaluate_condition(op, row) for op in condition.operands)
+    raise SQLPlanError(f"unsupported condition node {condition!r}")
+
+
+def _aggregate_value(aggregate: Aggregate, rows: Sequence[Dict[str, Any]]) -> Any:
+    if aggregate.function == "count":
+        if aggregate.column is None:
+            return len(rows)
+        return sum(1 for row in rows if row.get(aggregate.column) is not None)
+    if aggregate.column is None:
+        raise SQLPlanError(f"{aggregate.function.upper()} requires a column")
+    values = [row[aggregate.column] for row in rows if row.get(aggregate.column) is not None]
+    if not values:
+        return None
+    if aggregate.function == "sum":
+        return sum(values)
+    if aggregate.function == "avg":
+        return sum(values) / len(values)
+    if aggregate.function == "min":
+        return min(values)
+    if aggregate.function == "max":
+        return max(values)
+    raise SQLPlanError(f"unknown aggregate {aggregate.function!r}")
+
+
+class SQLExecutor:
+    """Plans and executes SELECT statements against a :class:`TableCatalog`."""
+
+    def __init__(self, catalog: TableCatalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str | SelectStatement, *, result_name: str = "query_result") -> Table:
+        statement = parse_sql(sql) if isinstance(sql, str) else sql
+        source = self.catalog.get_table(statement.table)
+        self._validate_columns(statement, source)
+
+        rows = [row for row in source.rows() if self._keep(statement, row)]
+
+        if statement.group_by or statement.has_aggregates:
+            output_rows = self._aggregate(statement, rows)
+        else:
+            output_rows = self._project(statement, rows)
+
+        if statement.order_by is not None:
+            if output_rows and statement.order_by not in output_rows[0]:
+                raise SQLPlanError(f"ORDER BY column {statement.order_by!r} not in result")
+            output_rows.sort(
+                key=lambda row: (row[statement.order_by] is None, row[statement.order_by]),
+                reverse=statement.order_desc,
+            )
+        if statement.limit is not None:
+            output_rows = output_rows[: statement.limit]
+
+        if not output_rows:
+            # Preserve the output schema even for empty results.
+            names = self._output_columns(statement, source)
+            return Table(result_name, Schema.from_dict({name: "string" for name in names}))
+        return table_from_records(result_name, output_rows)
+
+    # ------------------------------------------------------------------
+    def _keep(self, statement: SelectStatement, row: Dict[str, Any]) -> bool:
+        if statement.where is None:
+            return True
+        return evaluate_condition(statement.where, row)
+
+    def _validate_columns(self, statement: SelectStatement, source: Table) -> None:
+        for item in statement.items:
+            column = item.name if isinstance(item, ColumnRef) else item.column
+            if column is not None and column not in source.schema:
+                raise SQLPlanError(
+                    f"unknown column {column!r} in table {statement.table!r}"
+                )
+        for column in statement.group_by:
+            if column not in source.schema:
+                raise SQLPlanError(f"unknown GROUP BY column {column!r}")
+
+    def _output_columns(self, statement: SelectStatement, source: Table) -> List[str]:
+        if statement.select_all:
+            return source.schema.names()
+        names = list(statement.group_by)
+        for item in statement.items:
+            output = item.output_name
+            if output not in names:
+                names.append(output)
+        return names
+
+    def _project(
+        self, statement: SelectStatement, rows: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        if statement.select_all:
+            return rows
+        projected = []
+        for row in rows:
+            projected.append(
+                {item.output_name: row[item.name] for item in statement.items}  # type: ignore[union-attr]
+            )
+        return projected
+
+    def _aggregate(
+        self, statement: SelectStatement, rows: List[Dict[str, Any]]
+    ) -> List[Dict[str, Any]]:
+        aggregates = [item for item in statement.items if isinstance(item, Aggregate)]
+        plain = [item for item in statement.items if isinstance(item, ColumnRef)]
+        for item in plain:
+            if item.name not in statement.group_by:
+                raise SQLPlanError(
+                    f"column {item.name!r} must appear in GROUP BY or inside an aggregate"
+                )
+
+        groups: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+        if statement.group_by:
+            for row in rows:
+                key = tuple(row[column] for column in statement.group_by)
+                groups.setdefault(key, []).append(row)
+        else:
+            groups[()] = rows
+
+        output: List[Dict[str, Any]] = []
+        for key, group_rows in groups.items():
+            record: Dict[str, Any] = {
+                column: value for column, value in zip(statement.group_by, key)
+            }
+            for item in plain:
+                record[item.output_name] = record.get(item.name)
+            for aggregate in aggregates:
+                record[aggregate.output_name] = _aggregate_value(aggregate, group_rows)
+            output.append(record)
+        return output

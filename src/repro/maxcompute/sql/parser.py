@@ -1,0 +1,344 @@
+"""SQL tokenizer and recursive-descent parser.
+
+Grammar (case-insensitive keywords)::
+
+    statement   := SELECT select_list FROM identifier
+                   [WHERE condition]
+                   [GROUP BY identifier ("," identifier)*]
+                   [ORDER BY identifier [ASC|DESC]]
+                   [LIMIT integer]
+    select_list := "*" | select_item ("," select_item)*
+    select_item := (aggregate | identifier) [AS identifier]
+    aggregate   := (COUNT|SUM|AVG|MIN|MAX) "(" ("*" | identifier) ")"
+    condition   := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := unary (AND unary)*
+    unary       := [NOT] primary
+    primary     := "(" condition ")" | comparison
+    comparison  := identifier op literal | identifier IN "(" literal ("," literal)* ")"
+    op          := "=" | "!=" | "<>" | "<" | "<=" | ">" | ">="
+    literal     := number | string | TRUE | FALSE | NULL
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.exceptions import SQLParseError
+
+_KEYWORDS = {
+    "select",
+    "from",
+    "where",
+    "group",
+    "order",
+    "by",
+    "limit",
+    "and",
+    "or",
+    "not",
+    "as",
+    "in",
+    "asc",
+    "desc",
+    "true",
+    "false",
+    "null",
+    "count",
+    "sum",
+    "avg",
+    "min",
+    "max",
+}
+
+_TOKEN_PATTERN = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+\.\d+|-?\d+)"
+    r"|(?P<string>'(?:[^']|'')*')"
+    r"|(?P<identifier>[A-Za-z_][A-Za-z_0-9\.]*)"
+    r"|(?P<op><>|!=|<=|>=|=|<|>|\(|\)|,|\*)"
+    r")"
+)
+
+
+@dataclass
+class Token:
+    kind: str  # "number" | "string" | "identifier" | "keyword" | "op"
+    value: str
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Split a SQL string into tokens, raising on unknown characters."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_PATTERN.match(sql, position)
+        if match is None:
+            remainder = sql[position:].strip()
+            if not remainder:
+                break
+            raise SQLParseError(f"unexpected character near {remainder[:20]!r}")
+        position = match.end()
+        if match.lastgroup == "number":
+            tokens.append(Token("number", match.group("number")))
+        elif match.lastgroup == "string":
+            raw = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(Token("string", raw))
+        elif match.lastgroup == "identifier":
+            text = match.group("identifier")
+            kind = "keyword" if text.lower() in _KEYWORDS else "identifier"
+            tokens.append(Token(kind, text.lower() if kind == "keyword" else text))
+        else:
+            tokens.append(Token("op", match.group("op")))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST nodes
+# ---------------------------------------------------------------------------
+
+Literal = Union[int, float, str, bool, None]
+
+
+@dataclass
+class ColumnRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class Aggregate:
+    function: str  # count | sum | avg | min | max
+    column: Optional[str]  # None for COUNT(*)
+    alias: Optional[str] = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        target = self.column or "*"
+        return f"{self.function}({target})"
+
+
+@dataclass
+class Comparison:
+    column: str
+    operator: str
+    value: Literal
+
+
+@dataclass
+class InList:
+    column: str
+    values: List[Literal]
+
+
+@dataclass
+class Not:
+    operand: "Condition"
+
+
+@dataclass
+class BooleanOp:
+    operator: str  # "and" | "or"
+    operands: List["Condition"]
+
+
+Condition = Union[Comparison, InList, Not, BooleanOp]
+SelectItem = Union[ColumnRef, Aggregate]
+
+
+@dataclass
+class SelectStatement:
+    table: str
+    select_all: bool = False
+    items: List[SelectItem] = field(default_factory=list)
+    where: Optional[Condition] = None
+    group_by: List[str] = field(default_factory=list)
+    order_by: Optional[str] = None
+    order_desc: bool = False
+    limit: Optional[int] = None
+
+    @property
+    def has_aggregates(self) -> bool:
+        return any(isinstance(item, Aggregate) for item in self.items)
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers --------------------------------------------------
+    def _peek(self) -> Optional[Token]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _advance(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise SQLParseError("unexpected end of statement")
+        self._position += 1
+        return token
+
+    def _expect_keyword(self, keyword: str) -> None:
+        token = self._advance()
+        if token.kind != "keyword" or token.value != keyword:
+            raise SQLParseError(f"expected {keyword.upper()}, found {token.value!r}")
+
+    def _match_keyword(self, keyword: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "keyword" and token.value == keyword:
+            self._position += 1
+            return True
+        return False
+
+    def _match_op(self, op: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == "op" and token.value == op:
+            self._position += 1
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        token = self._advance()
+        if token.kind != "op" or token.value != op:
+            raise SQLParseError(f"expected {op!r}, found {token.value!r}")
+
+    def _expect_identifier(self) -> str:
+        token = self._advance()
+        if token.kind != "identifier":
+            raise SQLParseError(f"expected identifier, found {token.value!r}")
+        return token.value
+
+    # -- grammar ---------------------------------------------------------
+    def parse(self) -> SelectStatement:
+        self._expect_keyword("select")
+        select_all, items = self._parse_select_list()
+        self._expect_keyword("from")
+        table = self._expect_identifier()
+        statement = SelectStatement(table=table, select_all=select_all, items=items)
+        if self._match_keyword("where"):
+            statement.where = self._parse_condition()
+        if self._match_keyword("group"):
+            self._expect_keyword("by")
+            statement.group_by.append(self._expect_identifier())
+            while self._match_op(","):
+                statement.group_by.append(self._expect_identifier())
+        if self._match_keyword("order"):
+            self._expect_keyword("by")
+            statement.order_by = self._expect_identifier()
+            if self._match_keyword("desc"):
+                statement.order_desc = True
+            else:
+                self._match_keyword("asc")
+        if self._match_keyword("limit"):
+            token = self._advance()
+            if token.kind != "number":
+                raise SQLParseError(f"LIMIT expects a number, found {token.value!r}")
+            statement.limit = int(float(token.value))
+        if self._peek() is not None:
+            raise SQLParseError(f"unexpected trailing token {self._peek().value!r}")
+        return statement
+
+    def _parse_select_list(self) -> tuple[bool, List[SelectItem]]:
+        if self._match_op("*"):
+            return True, []
+        items = [self._parse_select_item()]
+        while self._match_op(","):
+            items.append(self._parse_select_item())
+        return False, items
+
+    def _parse_select_item(self) -> SelectItem:
+        token = self._peek()
+        if token is None:
+            raise SQLParseError("unexpected end of select list")
+        if token.kind == "keyword" and token.value in ("count", "sum", "avg", "min", "max"):
+            self._advance()
+            self._expect_op("(")
+            if self._match_op("*"):
+                column: Optional[str] = None
+            else:
+                column = self._expect_identifier()
+            self._expect_op(")")
+            alias = self._expect_identifier() if self._match_keyword("as") else None
+            return Aggregate(function=token.value, column=column, alias=alias)
+        name = self._expect_identifier()
+        alias = self._expect_identifier() if self._match_keyword("as") else None
+        return ColumnRef(name=name, alias=alias)
+
+    # -- conditions -------------------------------------------------------
+    def _parse_condition(self) -> Condition:
+        return self._parse_or()
+
+    def _parse_or(self) -> Condition:
+        operands = [self._parse_and()]
+        while self._match_keyword("or"):
+            operands.append(self._parse_and())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp(operator="or", operands=operands)
+
+    def _parse_and(self) -> Condition:
+        operands = [self._parse_unary()]
+        while self._match_keyword("and"):
+            operands.append(self._parse_unary())
+        if len(operands) == 1:
+            return operands[0]
+        return BooleanOp(operator="and", operands=operands)
+
+    def _parse_unary(self) -> Condition:
+        if self._match_keyword("not"):
+            return Not(operand=self._parse_unary())
+        if self._match_op("("):
+            condition = self._parse_condition()
+            self._expect_op(")")
+            return condition
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> Condition:
+        column = self._expect_identifier()
+        if self._match_keyword("in"):
+            self._expect_op("(")
+            values = [self._parse_literal()]
+            while self._match_op(","):
+                values.append(self._parse_literal())
+            self._expect_op(")")
+            return InList(column=column, values=values)
+        token = self._advance()
+        if token.kind != "op" or token.value not in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            raise SQLParseError(f"expected a comparison operator, found {token.value!r}")
+        operator = "!=" if token.value == "<>" else token.value
+        return Comparison(column=column, operator=operator, value=self._parse_literal())
+
+    def _parse_literal(self) -> Literal:
+        token = self._advance()
+        if token.kind == "number":
+            return float(token.value) if "." in token.value else int(token.value)
+        if token.kind == "string":
+            return token.value
+        if token.kind == "keyword" and token.value in ("true", "false"):
+            return token.value == "true"
+        if token.kind == "keyword" and token.value == "null":
+            return None
+        raise SQLParseError(f"expected a literal, found {token.value!r}")
+
+
+def parse_sql(sql: str) -> SelectStatement:
+    """Parse a SELECT statement into an AST."""
+    tokens = tokenize(sql)
+    if not tokens:
+        raise SQLParseError("empty SQL statement")
+    return _Parser(tokens).parse()

@@ -1,0 +1,190 @@
+"""Columnar tables.
+
+Tables store data column-wise (lists per column) with a typed schema, the
+storage layout a MaxCompute-like warehouse would use for scan-heavy analytical
+jobs.  Rows are plain dictionaries at the API boundary so that the data
+generator's records load directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.exceptions import SchemaError
+
+
+class ColumnType(str, Enum):
+    """Supported column types."""
+
+    STRING = "string"
+    BIGINT = "bigint"
+    DOUBLE = "double"
+    BOOLEAN = "boolean"
+
+    def coerce(self, value: Any) -> Any:
+        """Coerce ``value`` to this type; raises :class:`SchemaError` if impossible."""
+        if value is None:
+            return None
+        try:
+            if self is ColumnType.STRING:
+                return str(value)
+            if self is ColumnType.BIGINT:
+                return int(value)
+            if self is ColumnType.DOUBLE:
+                return float(value)
+            if self is ColumnType.BOOLEAN:
+                if isinstance(value, str):
+                    return value.lower() in ("true", "1", "yes")
+                return bool(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(f"cannot coerce {value!r} to {self.value}") from exc
+        raise SchemaError(f"unsupported column type {self!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    type: ColumnType
+    comment: str = ""
+
+
+@dataclass
+class Schema:
+    """Ordered collection of columns."""
+
+    columns: List[Column] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError("duplicate column names in schema")
+
+    def names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        for column in self.columns:
+            if column.name == name:
+                return column
+        raise SchemaError(f"unknown column {name!r}")
+
+    def __contains__(self, name: str) -> bool:
+        return any(column.name == name for column in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    @classmethod
+    def from_dict(cls, spec: Dict[str, str]) -> "Schema":
+        """Build a schema from ``{"name": "type"}`` pairs."""
+        return cls(columns=[Column(name, ColumnType(type_)) for name, type_ in spec.items()])
+
+    @classmethod
+    def infer(cls, rows: Sequence[Dict[str, Any]]) -> "Schema":
+        """Infer a schema from sample rows (bool before int: bool is an int subclass)."""
+        if not rows:
+            raise SchemaError("cannot infer a schema from zero rows")
+        columns: List[Column] = []
+        first = rows[0]
+        for name, value in first.items():
+            if isinstance(value, bool):
+                column_type = ColumnType.BOOLEAN
+            elif isinstance(value, int):
+                column_type = ColumnType.BIGINT
+            elif isinstance(value, float):
+                column_type = ColumnType.DOUBLE
+            else:
+                column_type = ColumnType.STRING
+            columns.append(Column(name, column_type))
+        return cls(columns=columns)
+
+
+class Table:
+    """A named columnar table."""
+
+    def __init__(self, name: str, schema: Schema, *, comment: str = ""):
+        if not name:
+            raise SchemaError("table name must be non-empty")
+        self.name = name
+        self.schema = schema
+        self.comment = comment
+        self._columns: Dict[str, List[Any]] = {c: [] for c in schema.names()}
+        self._num_rows = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def __len__(self) -> int:
+        return self._num_rows
+
+    def append(self, row: Dict[str, Any]) -> None:
+        """Append one row (missing columns become NULL, extras are rejected)."""
+        unknown = set(row) - set(self._columns)
+        if unknown:
+            raise SchemaError(f"row contains unknown columns {sorted(unknown)}")
+        for column in self.schema.columns:
+            value = row.get(column.name)
+            self._columns[column.name].append(column.type.coerce(value))
+        self._num_rows += 1
+
+    def extend(self, rows: Iterable[Dict[str, Any]]) -> None:
+        for row in rows:
+            self.append(row)
+
+    # ------------------------------------------------------------------
+    def column(self, name: str) -> List[Any]:
+        """Raw column values (reference; treat as read-only)."""
+        if name not in self._columns:
+            raise SchemaError(f"unknown column {name!r} in table {self.name!r}")
+        return self._columns[name]
+
+    def row(self, index: int) -> Dict[str, Any]:
+        if not 0 <= index < self._num_rows:
+            raise SchemaError(f"row index {index} out of range for table {self.name!r}")
+        return {name: values[index] for name, values in self._columns.items()}
+
+    def rows(self) -> Iterator[Dict[str, Any]]:
+        for index in range(self._num_rows):
+            yield self.row(index)
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        return list(self.rows())
+
+    def head(self, limit: int = 5) -> List[Dict[str, Any]]:
+        return [self.row(i) for i in range(min(limit, self._num_rows))]
+
+    # ------------------------------------------------------------------
+    def select_rows(self, indices: Sequence[int]) -> "Table":
+        """New table containing only ``indices`` (used by the SQL executor)."""
+        result = Table(self.name, self.schema, comment=self.comment)
+        for index in indices:
+            result.append(self.row(index))
+        return result
+
+    def partition_column(self, name: str, num_splits: int) -> List[List[int]]:
+        """Split row indices into ``num_splits`` contiguous chunks (for subtasks)."""
+        if num_splits <= 0:
+            raise SchemaError("num_splits must be positive")
+        indices = list(range(self._num_rows))
+        chunk = max(1, (self._num_rows + num_splits - 1) // num_splits)
+        return [indices[i : i + chunk] for i in range(0, self._num_rows, chunk)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table(name={self.name!r}, rows={self._num_rows}, columns={len(self.schema)})"
+
+
+def table_from_records(
+    name: str, records: Sequence[Dict[str, Any]], *, schema: Optional[Schema] = None
+) -> Table:
+    """Build a table from dict records, inferring the schema when not given."""
+    if schema is None:
+        schema = Schema.infer(records)
+    table = Table(name, schema)
+    table.extend(records)
+    return table

@@ -1,0 +1,42 @@
+"""Detection methods.
+
+The paper "extensively investigates and validates rule-based methods, anomaly
+detection approaches and classification models":
+
+* rule-based: ID3 and C5.0 decision trees operating on discretised
+  features-as-rules (:mod:`repro.models.tree`),
+* anomaly detection: Isolation Forest, which needs no labels
+  (:mod:`repro.models.isolation_forest`),
+* classification: Logistic Regression with feature discretisation and L1
+  regularisation, and Gradient Boosting Decision Trees
+  (:mod:`repro.models.logistic_regression`, :mod:`repro.models.gbdt`).
+
+All models are implemented from scratch on NumPy and share the
+:class:`~repro.models.base.BaseDetector` interface (``fit`` / ``predict_proba``
+/ ``predict``), so the experiment harness can swap them freely.  The
+parameter-server training drivers used for Figure 10 live in
+:mod:`repro.models.distributed`.
+"""
+
+from repro.models.base import BaseDetector, DetectionResult
+from repro.models.tree.id3 import ID3Classifier
+from repro.models.tree.c45 import C45Classifier
+from repro.models.tree.cart import RegressionTree
+from repro.models.isolation_forest import IsolationForest
+from repro.models.logistic_regression import LogisticRegression
+from repro.models.gbdt import GradientBoostingClassifier
+from repro.models.rules import Rule, RuleSet, extract_rules
+
+__all__ = [
+    "BaseDetector",
+    "DetectionResult",
+    "ID3Classifier",
+    "C45Classifier",
+    "RegressionTree",
+    "IsolationForest",
+    "LogisticRegression",
+    "GradientBoostingClassifier",
+    "Rule",
+    "RuleSet",
+    "extract_rules",
+]

@@ -1,0 +1,122 @@
+"""Common interface of all detection methods."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+
+
+def validate_training_inputs(
+    features: np.ndarray, labels: Optional[np.ndarray] = None
+) -> tuple[np.ndarray, Optional[np.ndarray]]:
+    """Coerce and validate (features, labels) for ``fit``.
+
+    Raises :class:`ModelError` on shape mismatches, empty inputs or non-binary
+    labels — fail fast rather than producing a silently broken model.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    if features.ndim != 2:
+        raise ModelError("features must be a 2-dimensional array")
+    if features.shape[0] == 0:
+        raise ModelError("cannot fit on an empty feature matrix")
+    if not np.isfinite(features).all():
+        raise ModelError("features contain NaN or infinite values")
+    if labels is None:
+        return features, None
+    labels = np.asarray(labels, dtype=np.float64).ravel()
+    if labels.shape[0] != features.shape[0]:
+        raise ModelError(
+            f"{labels.shape[0]} labels do not match {features.shape[0]} feature rows"
+        )
+    unique = np.unique(labels)
+    if not np.all(np.isin(unique, [0.0, 1.0])):
+        raise ModelError(f"labels must be binary (0/1), found values {unique[:5]}")
+    return features, labels
+
+
+@dataclass
+class DetectionResult:
+    """Scored transactions: fraud probabilities plus the decision threshold."""
+
+    probabilities: np.ndarray
+    threshold: float = 0.5
+    model_name: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def predictions(self) -> np.ndarray:
+        """Binary fraud decisions at ``threshold``."""
+        return (self.probabilities >= self.threshold).astype(np.int64)
+
+    def top_fraction(self, fraction: float) -> np.ndarray:
+        """Indices of the most suspicious ``fraction`` of transactions.
+
+        Used by the rec@top-k% metric of Figure 9.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ModelError("fraction must be in (0, 1]")
+        count = max(1, int(round(fraction * self.probabilities.shape[0])))
+        return np.argsort(-self.probabilities)[:count]
+
+
+class BaseDetector(ABC):
+    """Base class of every detection method (rule-based, anomaly, classifier)."""
+
+    #: Human-readable name used in experiment reports (Table 1 rows).
+    name: str = "detector"
+
+    def __init__(self) -> None:
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def fit(self, features: np.ndarray, labels: Optional[np.ndarray] = None) -> "BaseDetector":
+        """Train the detector.  Unsupervised methods ignore ``labels``."""
+
+    @abstractmethod
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Fraud probability (or anomaly score in [0, 1]) per row."""
+
+    # ------------------------------------------------------------------
+    def predict(self, features: np.ndarray, *, threshold: float = 0.5) -> np.ndarray:
+        """Binary fraud decision per row."""
+        return (self.predict_proba(features) >= threshold).astype(np.int64)
+
+    def detect(self, features: np.ndarray, *, threshold: float = 0.5) -> DetectionResult:
+        """Score a batch and wrap the output in a :class:`DetectionResult`."""
+        return DetectionResult(
+            probabilities=self.predict_proba(features),
+            threshold=threshold,
+            model_name=self.name,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(f"{type(self).__name__} must be fitted before prediction")
+
+    def _check_predict_inputs(self, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        if features.ndim != 2:
+            raise ModelError("features must be a 2-dimensional array")
+        return features
+
+    def get_params(self) -> Dict[str, object]:
+        """Hyperparameters of the detector (for logging and model registry)."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and not isinstance(value, np.ndarray)
+        }

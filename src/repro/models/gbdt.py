@@ -1,0 +1,235 @@
+"""Gradient Boosting Decision Trees.
+
+The paper's strongest detector: 400 trees of depth 3, row and feature
+subsampling of 0.4 to prevent overfitting.  We implement standard gradient
+boosting with depth-limited regression trees
+(:class:`~repro.models.tree.cart.RegressionTree`) as weak learners and two
+objectives:
+
+* ``"logistic"`` — binomial deviance with Newton leaf values (default),
+* ``"squared"`` — least-squares boosting on the 0/1 labels, matching the
+  paper's statement that root mean square error is used as the objective.
+
+Both produce scores mapped to [0, 1] by :meth:`predict_proba`, so the
+evaluation layer treats GBDT exactly like every other detector.
+"""
+
+from __future__ import annotations
+
+from typing import List, Literal, Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.models.base import BaseDetector, validate_training_inputs
+from repro.models.tree.cart import RegressionTree
+from repro.rng import SeedLike, ensure_rng
+
+Objective = Literal["logistic", "squared"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class GradientBoostingClassifier(BaseDetector):
+    """Gradient boosting with regression-tree weak learners.
+
+    Parameters
+    ----------
+    num_trees:
+        Number of boosting rounds (paper: 400).
+    max_depth:
+        Depth of each tree (paper: 3).
+    learning_rate:
+        Shrinkage applied to each tree's contribution.
+    subsample_rows, subsample_features:
+        Row / feature subsampling rates per tree (paper: 0.4 each).
+    objective:
+        ``"logistic"`` (binomial deviance) or ``"squared"`` (RMSE objective,
+        as stated in the paper).
+    class_weight:
+        ``"balanced"`` up-weights fraud rows by the inverse class frequency.
+    """
+
+    name = "gbdt"
+
+    def __init__(
+        self,
+        *,
+        num_trees: int = 400,
+        max_depth: int = 3,
+        learning_rate: float = 0.1,
+        subsample_rows: float = 0.4,
+        subsample_features: float = 0.4,
+        min_samples_leaf: int = 5,
+        reg_lambda: float = 1.0,
+        objective: Objective = "logistic",
+        class_weight: Optional[str] = "balanced",
+        seed: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if num_trees < 1:
+            raise ModelError("num_trees must be at least 1")
+        if max_depth < 1:
+            raise ModelError("max_depth must be at least 1")
+        if not 0.0 < learning_rate <= 1.0:
+            raise ModelError("learning_rate must be in (0, 1]")
+        if not 0.0 < subsample_rows <= 1.0:
+            raise ModelError("subsample_rows must be in (0, 1]")
+        if not 0.0 < subsample_features <= 1.0:
+            raise ModelError("subsample_features must be in (0, 1]")
+        if objective not in ("logistic", "squared"):
+            raise ModelError(f"unknown objective {objective!r}")
+        if class_weight not in (None, "balanced"):
+            raise ModelError("class_weight must be None or 'balanced'")
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.subsample_rows = subsample_rows
+        self.subsample_features = subsample_features
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.objective = objective
+        self.class_weight = class_weight
+        self.seed = seed
+        self._rng = ensure_rng(seed)
+        self._trees: List[RegressionTree] = []
+        self._initial_score: float = 0.0
+        self.train_loss_: List[float] = []
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, labels: Optional[np.ndarray] = None) -> "GradientBoostingClassifier":
+        features, labels = validate_training_inputs(features, labels)
+        if labels is None:
+            raise ModelError("GradientBoostingClassifier is supervised and requires labels")
+        weights = self._sample_weights(labels)
+
+        self._initial_score = self._initial_prediction(labels, weights)
+        scores = np.full(labels.shape[0], self._initial_score)
+        self._trees = []
+        self.train_loss_ = []
+
+        num_rows, num_features = features.shape
+        rows_per_tree = max(2 * self.min_samples_leaf, int(round(self.subsample_rows * num_rows)))
+        features_per_tree = max(1, int(round(self.subsample_features * num_features)))
+
+        for _ in range(self.num_trees):
+            gradients, hessians = self._gradients(labels, scores, weights)
+            row_indices = self._rng.choice(num_rows, size=min(rows_per_tree, num_rows), replace=False)
+            feature_indices = self._rng.choice(
+                num_features, size=features_per_tree, replace=False
+            )
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                reg_lambda=self.reg_lambda,
+                feature_indices=feature_indices,
+            )
+            tree.fit(
+                features[row_indices],
+                gradients[row_indices],
+                hessians[row_indices],
+            )
+            update = tree.predict(features)
+            scores += self.learning_rate * update
+            self._trees.append(tree)
+            self.train_loss_.append(self._loss(labels, scores, weights))
+
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = self._check_predict_inputs(features)
+        scores = self.decision_function(features)
+        if self.objective == "logistic":
+            return _sigmoid(scores)
+        return np.clip(scores, 0.0, 1.0)
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Raw additive score before the probability mapping."""
+        features = self._check_predict_inputs(features)
+        scores = np.full(features.shape[0], self._initial_score)
+        for tree in self._trees:
+            scores += self.learning_rate * tree.predict(features)
+        return scores
+
+    def staged_predict_proba(self, features: np.ndarray, *, every: int = 1):
+        """Yield (num_trees_used, probabilities) as trees are added.
+
+        Used by the Figure 12 benchmark to evaluate 100/200/400/800 trees from
+        a single fitted 800-tree model instead of refitting four times.
+        """
+        features = self._check_predict_inputs(features)
+        scores = np.full(features.shape[0], self._initial_score)
+        for index, tree in enumerate(self._trees, start=1):
+            scores += self.learning_rate * tree.predict(features)
+            if index % every == 0 or index == len(self._trees):
+                if self.objective == "logistic":
+                    yield index, _sigmoid(scores)
+                else:
+                    yield index, np.clip(scores, 0.0, 1.0)
+
+    @property
+    def num_fitted_trees(self) -> int:
+        return len(self._trees)
+
+    def feature_importances(self, num_features: int) -> np.ndarray:
+        """Split-count feature importances (normalised to sum to 1)."""
+        self._check_fitted()
+        counts = np.zeros(num_features)
+
+        def _walk(node) -> None:
+            if node.is_leaf:
+                return
+            counts[node.feature_index] += 1.0
+            for child in node.iter_children():
+                _walk(child)
+
+        for tree in self._trees:
+            _walk(tree.tree_)
+        total = counts.sum()
+        return counts / total if total > 0 else counts
+
+    # ------------------------------------------------------------------
+    def _sample_weights(self, labels: np.ndarray) -> np.ndarray:
+        if self.class_weight != "balanced":
+            return np.ones_like(labels)
+        positives = labels.sum()
+        negatives = labels.shape[0] - positives
+        if positives == 0 or negatives == 0:
+            return np.ones_like(labels)
+        positive_weight = negatives / positives
+        return np.where(labels > 0.5, positive_weight, 1.0)
+
+    def _initial_prediction(self, labels: np.ndarray, weights: np.ndarray) -> float:
+        mean = float(np.average(labels, weights=weights))
+        mean = min(max(mean, 1e-6), 1.0 - 1e-6)
+        if self.objective == "logistic":
+            return float(np.log(mean / (1.0 - mean)))
+        return mean
+
+    def _gradients(
+        self, labels: np.ndarray, scores: np.ndarray, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Negative gradients and hessians of the objective at ``scores``."""
+        if self.objective == "logistic":
+            probabilities = _sigmoid(scores)
+            gradients = weights * (labels - probabilities)
+            hessians = weights * probabilities * (1.0 - probabilities)
+            return gradients, np.maximum(hessians, 1e-6)
+        residuals = weights * (labels - scores)
+        return residuals, weights.copy()
+
+    def _loss(self, labels: np.ndarray, scores: np.ndarray, weights: np.ndarray) -> float:
+        if self.objective == "logistic":
+            probabilities = _sigmoid(scores)
+            eps = 1e-10
+            return float(
+                -np.average(
+                    labels * np.log(probabilities + eps)
+                    + (1 - labels) * np.log(1 - probabilities + eps),
+                    weights=weights,
+                )
+            )
+        return float(np.sqrt(np.average((labels - scores) ** 2, weights=weights)))

@@ -1,0 +1,183 @@
+"""C4.5 / C5.0-style decision-tree classifier.
+
+The paper's second rule-based baseline is C5.0, the commercial successor of
+C4.5.  Relative to ID3 it (a) ranks splits by gain ratio rather than raw
+information gain, (b) handles continuous attributes natively through binary
+threshold splits, and (c) prunes the grown tree.  The paper attributes C5.0's
+6.9 % average improvement over ID3 to its "better data discretization and
+segmentation mechanisms such as Gain Ratio" — which is exactly the part this
+implementation reproduces, together with pessimistic error pruning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.models.base import BaseDetector, validate_training_inputs
+from repro.models.tree.node import TreeNode
+from repro.models.tree.splitter import best_categorical_split, best_numeric_split
+
+
+class C45Classifier(BaseDetector):
+    """C4.5/C5.0-style tree: gain ratio, threshold splits, pessimistic pruning.
+
+    Parameters
+    ----------
+    max_depth, min_samples_split, min_samples_leaf:
+        Pre-pruning controls.
+    prune:
+        When True (default), applies pessimistic error pruning after growth:
+        a subtree is collapsed into a leaf whenever the leaf's pessimistic
+        error estimate does not exceed the subtree's.
+    categorical_max_unique:
+        Columns with at most this many distinct training values are treated as
+        categorical attributes (multiway splits); all other columns use binary
+        threshold splits.
+    """
+
+    name = "c50"
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 8,
+        min_samples_split: int = 20,
+        min_samples_leaf: int = 5,
+        prune: bool = True,
+        pruning_confidence: float = 0.25,
+        categorical_max_unique: int = 8,
+    ) -> None:
+        super().__init__()
+        if max_depth < 1:
+            raise ModelError("max_depth must be at least 1")
+        if not 0.0 < pruning_confidence < 1.0:
+            raise ModelError("pruning_confidence must be in (0, 1)")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.prune = prune
+        self.pruning_confidence = pruning_confidence
+        self.categorical_max_unique = categorical_max_unique
+        self._root: Optional[TreeNode] = None
+        self._categorical: Optional[List[bool]] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray, labels: Optional[np.ndarray] = None) -> "C45Classifier":
+        features, labels = validate_training_inputs(features, labels)
+        if labels is None:
+            raise ModelError(f"{type(self).__name__} is supervised and requires labels")
+        self._categorical = [
+            np.unique(features[:, i]).size <= self.categorical_max_unique
+            for i in range(features.shape[1])
+        ]
+        self._root = self._build(features, labels, depth=0)
+        if self.prune:
+            self._prune_node(self._root)
+        self._fitted = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        features = self._check_predict_inputs(features)
+        assert self._root is not None
+        return self._root.predict(features)
+
+    @property
+    def tree_(self) -> TreeNode:
+        if self._root is None:
+            raise ModelError("tree has not been fitted")
+        return self._root
+
+    # ------------------------------------------------------------------
+    def _build(self, features: np.ndarray, labels: np.ndarray, *, depth: int) -> TreeNode:
+        positive_rate = float(labels.mean()) if labels.size else 0.0
+        node = TreeNode(
+            is_leaf=True,
+            value=positive_rate,
+            num_samples=int(labels.size),
+            fallback_value=positive_rate,
+        )
+        if (
+            depth >= self.max_depth
+            or labels.size < self.min_samples_split
+            or positive_rate in (0.0, 1.0)
+        ):
+            return node
+
+        assert self._categorical is not None
+        best_score = 0.0
+        best_feature: Optional[int] = None
+        best_numeric = None
+        best_categorical = None
+        for feature_index in range(features.shape[1]):
+            column = features[:, feature_index]
+            if self._categorical[feature_index]:
+                split = best_categorical_split(
+                    column, labels, criterion="gain_ratio", min_leaf=self.min_samples_leaf
+                )
+                if split is not None and split.score > best_score:
+                    best_score = split.score
+                    best_feature = feature_index
+                    best_categorical, best_numeric = split, None
+            else:
+                split = best_numeric_split(
+                    column, labels, criterion="gain_ratio", min_leaf=self.min_samples_leaf
+                )
+                if split is not None and split.score > best_score:
+                    best_score = split.score
+                    best_feature = feature_index
+                    best_numeric, best_categorical = split, None
+
+        if best_feature is None:
+            return node
+
+        node.is_leaf = False
+        node.feature_index = best_feature
+        if best_numeric is not None:
+            node.threshold = best_numeric.threshold
+            mask = features[:, best_feature] <= best_numeric.threshold
+            node.left = self._build(features[mask], labels[mask], depth=depth + 1)
+            node.right = self._build(features[~mask], labels[~mask], depth=depth + 1)
+        else:
+            assert best_categorical is not None
+            node.threshold = None
+            for category in best_categorical.categories:
+                mask = features[:, best_feature] == category
+                node.children[float(category)] = self._build(
+                    features[mask], labels[mask], depth=depth + 1
+                )
+        return node
+
+    # ------------------------------------------------------------------
+    # Pessimistic error pruning (C4.5 style, simplified)
+    # ------------------------------------------------------------------
+    def _pessimistic_errors(self, node: TreeNode) -> float:
+        """Upper-bound error estimate of treating ``node`` as a leaf."""
+        n = max(node.num_samples, 1)
+        error_rate = min(node.value, 1.0 - node.value)
+        errors = error_rate * n
+        # Continuity correction plus a confidence-scaled penalty per leaf,
+        # following the spirit of C4.5's pessimistic estimate.
+        return errors + 0.5 + self.pruning_confidence * np.sqrt(errors + 0.5)
+
+    def _subtree_errors(self, node: TreeNode) -> float:
+        if node.is_leaf:
+            return self._pessimistic_errors(node)
+        return sum(self._subtree_errors(child) for child in node.iter_children())
+
+    def _prune_node(self, node: TreeNode) -> None:
+        if node.is_leaf:
+            return
+        for child in node.iter_children():
+            self._prune_node(child)
+        leaf_errors = self._pessimistic_errors(node)
+        subtree_errors = self._subtree_errors(node)
+        if leaf_errors <= subtree_errors:
+            node.is_leaf = True
+            node.left = None
+            node.right = None
+            node.children = {}
+            node.feature_index = None
+            node.threshold = None

@@ -1,0 +1,42 @@
+"""Common interface of network representation learning models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+from repro.graph.network import TransactionNetwork
+from repro.nrl.embeddings import EmbeddingSet
+
+
+class NRLModel(ABC):
+    """A model that maps every node of a transaction network to a vector.
+
+    The contract mirrors the paper's offline NRL step: ``fit`` consumes the
+    transaction network built from historical records (and, for supervised
+    models, node labels), and :meth:`embeddings` returns the learned
+    :class:`~repro.nrl.embeddings.EmbeddingSet` that is uploaded to Ali-HBase.
+    """
+
+    @abstractmethod
+    def fit(
+        self,
+        network: TransactionNetwork,
+        *,
+        node_labels: Optional[dict[str, int]] = None,
+    ) -> "NRLModel":
+        """Learn embeddings for every node of ``network``."""
+
+    @abstractmethod
+    def embeddings(self) -> EmbeddingSet:
+        """Return the learned embeddings (raises if :meth:`fit` was not called)."""
+
+    @property
+    @abstractmethod
+    def dimension(self) -> int:
+        """Dimensionality of the learned embeddings."""
+
+    def embed_nodes(self, nodes: Sequence[str]) -> "EmbeddingSet":
+        """Restrict the learned embeddings to ``nodes`` (missing ids get zeros)."""
+        full = self.embeddings()
+        return full.subset(nodes)

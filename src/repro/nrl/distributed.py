@@ -1,0 +1,208 @@
+"""Distributed DeepWalk on the KunPeng parameter server.
+
+The paper reimplements word2vec on KunPeng because no public NRL
+implementation scales to industrial transaction networks.  The division of
+labour (Section 4.3):
+
+* worker nodes receive the node sequences from random walks; every iteration
+  each worker reads a batch of sequences, generates negative samples, pulls
+  the embeddings from the servers, applies gradient descent and uploads the
+  updated embeddings,
+* server nodes store the embedding matrices, answer pull requests and
+  aggregate the workers' updates with a **model average** operation.
+
+:class:`DistributedDeepWalk` reproduces exactly that loop on the simulated
+:class:`~repro.kunpeng.cluster.KunPengCluster`, including optional worker
+failure injection with automatic recovery, and reports the workload summary
+the cost model converts into Figure 10's timings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import EmbeddingError
+from repro.graph.network import TransactionNetwork
+from repro.graph.random_walk import RandomWalkConfig, RandomWalker, split_corpus
+from repro.kunpeng.cluster import ClusterConfig, KunPengCluster
+from repro.kunpeng.cost_model import ClusterCostModel, TrainingTimeEstimate
+from repro.kunpeng.failover import FailureInjector
+from repro.kunpeng.worker import WorkerNode
+from repro.logging_utils import get_logger
+from repro.nrl.base import NRLModel
+from repro.nrl.embeddings import EmbeddingSet
+from repro.nrl.word2vec import (
+    SkipGramConfig,
+    build_negative_table,
+    build_vocabulary,
+    generate_skipgram_pairs,
+    sgns_batch_update,
+)
+from repro.rng import SeedLike, ensure_rng, spawn_child
+
+logger = get_logger("nrl.distributed")
+
+
+@dataclass
+class DistributedDeepWalkConfig:
+    """Configuration of the PS-distributed DeepWalk run."""
+
+    cluster: ClusterConfig = field(default_factory=lambda: ClusterConfig(num_machines=4))
+    walk: RandomWalkConfig = field(default_factory=RandomWalkConfig)
+    skipgram: SkipGramConfig = field(default_factory=SkipGramConfig)
+    #: Synchronous model-average rounds per epoch.
+    rounds_per_epoch: int = 5
+    #: Probability that a worker crashes before a round (fault-tolerance tests).
+    failure_probability: float = 0.0
+    seed: Optional[int] = None
+
+    def validate(self) -> None:
+        self.cluster.validate()
+        self.walk.validate()
+        self.skipgram.validate()
+        if self.rounds_per_epoch < 1:
+            raise EmbeddingError("rounds_per_epoch must be at least 1")
+
+
+class DistributedDeepWalk(NRLModel):
+    """DeepWalk trained with data parallelism + model averaging on KunPeng."""
+
+    def __init__(self, config: DistributedDeepWalkConfig | None = None, *, rng: SeedLike = None):
+        self.config = config or DistributedDeepWalkConfig()
+        self.config.validate()
+        self._rng = ensure_rng(self.config.seed if rng is None else rng)
+        self.cluster = KunPengCluster(self.config.cluster)
+        self.failure_injector = FailureInjector(
+            self.cluster,
+            failure_probability=self.config.failure_probability,
+            rng=spawn_child(self._rng, salt=41),
+        )
+        self._embeddings: Optional[EmbeddingSet] = None
+        self.rounds_completed = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def dimension(self) -> int:
+        return self.config.skipgram.dimension
+
+    def fit(
+        self,
+        network: TransactionNetwork,
+        *,
+        node_labels: Optional[dict[str, int]] = None,
+    ) -> "DistributedDeepWalk":
+        if network.num_nodes == 0:
+            raise EmbeddingError("cannot fit DistributedDeepWalk on an empty network")
+        cfg = self.config
+
+        # 1. Random-walk corpus, generated once and partitioned across workers.
+        walker = RandomWalker(network, cfg.walk, rng=spawn_child(self._rng, salt=11))
+        corpus = walker.generate()
+        vocabulary = build_vocabulary(corpus)
+        table = build_negative_table(vocabulary.counts(), cfg.skipgram.negative_table_size)
+
+        # 2. Initialise the embedding matrices on the parameter servers.
+        dimension = cfg.skipgram.dimension
+        init_rng = spawn_child(self._rng, salt=13)
+        w_in = (init_rng.random((len(vocabulary), dimension)) - 0.5) / dimension
+        w_out = np.zeros((len(vocabulary), dimension))
+        self.cluster.create_parameter("w_in", w_in)
+        self.cluster.create_parameter("w_out", w_out)
+
+        # 3. Scatter encoded (center, context) pairs across the workers.
+        partitions = split_corpus(corpus, len(self.cluster.workers))
+        worker_pairs: List[Tuple[np.ndarray, np.ndarray]] = []
+        for partition in partitions:
+            encoded = [vocabulary.encode(sentence) for sentence in partition]
+            worker_pairs.append(generate_skipgram_pairs(encoded, cfg.skipgram.window))
+        self.cluster.scatter_data([p[0].shape[0] for p in worker_pairs])
+
+        # 4. Synchronous rounds: local SGD per worker, then model averaging.
+        total_rounds = cfg.skipgram.epochs * cfg.rounds_per_epoch
+        pair_rng = spawn_child(self._rng, salt=17)
+        for round_index in range(total_rounds):
+            self.failure_injector.maybe_fail(round_index)
+            self.failure_injector.heal()
+            replicas_in: List[np.ndarray] = []
+            replicas_out: List[np.ndarray] = []
+            progress = round_index / max(total_rounds, 1)
+            learning_rate = max(
+                cfg.skipgram.min_learning_rate, cfg.skipgram.learning_rate * (1.0 - progress)
+            )
+            for worker, (centers, contexts) in zip(self.cluster.workers, worker_pairs):
+                if centers.size == 0:
+                    continue
+                local_in = self.cluster.pull_matrix("w_in")
+                local_out = self.cluster.pull_matrix("w_out")
+                self._worker_round(
+                    worker,
+                    centers,
+                    contexts,
+                    local_in,
+                    local_out,
+                    table,
+                    learning_rate,
+                    pair_rng,
+                )
+                replicas_in.append(local_in)
+                replicas_out.append(local_out)
+            if replicas_in:
+                self.cluster.push_model_average("w_in", replicas_in)
+                self.cluster.push_model_average("w_out", replicas_out)
+            self.rounds_completed += 1
+
+        final = self.cluster.pull_matrix("w_in")
+        embeddings = EmbeddingSet(vocabulary.tokens(), final, name="deepwalk_distributed")
+        self._embeddings = embeddings.subset(network.nodes())
+        self._embeddings.name = "deepwalk_distributed"
+        return self
+
+    def _worker_round(
+        self,
+        worker: WorkerNode,
+        centers: np.ndarray,
+        contexts: np.ndarray,
+        local_in: np.ndarray,
+        local_out: np.ndarray,
+        negative_table: np.ndarray,
+        learning_rate: float,
+        rng: np.random.Generator,
+    ) -> None:
+        """One worker's local pass over (a sample of) its pair partition."""
+        cfg = self.config.skipgram
+
+        def _step(_worker: WorkerNode) -> None:
+            batch_size = min(cfg.batch_size, centers.shape[0])
+            batch = rng.choice(centers.shape[0], size=batch_size, replace=False)
+            negatives = negative_table[
+                rng.integers(0, negative_table.shape[0], size=(batch_size, cfg.negatives))
+            ]
+            sgns_batch_update(
+                local_in, local_out, centers[batch], contexts[batch], negatives, learning_rate
+            )
+
+        worker.run(_step, compute_units=float(min(cfg.batch_size, centers.shape[0])))
+
+    # ------------------------------------------------------------------
+    def embeddings(self) -> EmbeddingSet:
+        if self._embeddings is None:
+            raise EmbeddingError("DistributedDeepWalk has not been fitted")
+        return self._embeddings
+
+    def workload_summary(self) -> Dict[str, float]:
+        """Compute/communication totals of the finished run (cost-model input)."""
+        return self.cluster.workload_summary()
+
+    def estimate_time(self, cost_model: ClusterCostModel | None = None) -> TrainingTimeEstimate:
+        """Convert the recorded workload into an estimated wall-clock time."""
+        summary = self.workload_summary()
+        model = cost_model or ClusterCostModel()
+        return model.estimate(
+            total_compute_units=summary["worker_compute_units"],
+            comm_values_per_round=summary["values_transferred"] / max(self.rounds_completed, 1),
+            num_rounds=max(self.rounds_completed, 1),
+            cluster=self.config.cluster,
+        )

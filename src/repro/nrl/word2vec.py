@@ -1,0 +1,313 @@
+"""Skip-gram with negative sampling (word2vec) on NumPy.
+
+The paper's distributed DeepWalk reimplements word2vec on the KunPeng
+parameter-server platform: workers read batches of node sequences, generate
+negative samples, pull the relevant embeddings, apply gradient descent and
+push the updates back.  This module provides the exact computational core that
+both the single-machine :class:`~repro.nrl.deepwalk.DeepWalk` model and the
+PS-distributed driver (:mod:`repro.nrl.distributed`) share:
+
+* :class:`Vocabulary` — token/index mapping with unigram counts,
+* skip-gram pair generation from linear node sequences,
+* a unigram^0.75 negative-sampling table,
+* dense mini-batch SGNS updates (in place) and sparse gradient computation
+  (for the pull/compute/push cycle of the parameter server).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import EmbeddingError
+from repro.nrl.embeddings import EmbeddingSet
+from repro.rng import SeedLike, ensure_rng
+
+
+class Vocabulary:
+    """Token vocabulary with occurrence counts."""
+
+    def __init__(self) -> None:
+        self._token_index: Dict[str, int] = {}
+        self._tokens: List[str] = []
+        self._counts: List[int] = []
+
+    def add(self, token: str, count: int = 1) -> int:
+        index = self._token_index.get(token)
+        if index is None:
+            index = len(self._tokens)
+            self._token_index[token] = index
+            self._tokens.append(token)
+            self._counts.append(0)
+        self._counts[index] += count
+        return index
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_index
+
+    def index(self, token: str) -> int:
+        try:
+            return self._token_index[token]
+        except KeyError as exc:
+            raise EmbeddingError(f"token {token!r} not in vocabulary") from exc
+
+    def token(self, index: int) -> str:
+        return self._tokens[index]
+
+    def tokens(self) -> List[str]:
+        return list(self._tokens)
+
+    def counts(self) -> np.ndarray:
+        return np.array(self._counts, dtype=np.float64)
+
+    def encode(self, sequence: Sequence[str]) -> np.ndarray:
+        """Encode a token sequence to indices, skipping unknown tokens."""
+        return np.array(
+            [self._token_index[t] for t in sequence if t in self._token_index],
+            dtype=np.int64,
+        )
+
+
+def build_vocabulary(corpus: Iterable[Sequence[str]], *, min_count: int = 1) -> Vocabulary:
+    """Build a vocabulary from a corpus of token sequences."""
+    counts: Dict[str, int] = {}
+    for sentence in corpus:
+        for token in sentence:
+            counts[token] = counts.get(token, 0) + 1
+    vocabulary = Vocabulary()
+    for token, count in counts.items():
+        if count >= min_count:
+            vocabulary.add(token, count)
+    if len(vocabulary) == 0:
+        raise EmbeddingError("corpus produced an empty vocabulary")
+    return vocabulary
+
+
+@dataclass
+class SkipGramConfig:
+    """Hyperparameters of skip-gram with negative sampling.
+
+    ``dimension`` defaults to 32, the paper's best setting (Figure 11).
+    """
+
+    dimension: int = 32
+    window: int = 5
+    negatives: int = 5
+    learning_rate: float = 0.025
+    min_learning_rate: float = 0.0005
+    epochs: int = 2
+    batch_size: int = 2048
+    min_count: int = 1
+    negative_table_size: int = 1_000_000
+    seed: int | None = None
+
+    def validate(self) -> None:
+        if self.dimension <= 0:
+            raise EmbeddingError("dimension must be positive")
+        if self.window < 1:
+            raise EmbeddingError("window must be at least 1")
+        if self.negatives < 1:
+            raise EmbeddingError("negatives must be at least 1")
+        if self.learning_rate <= 0:
+            raise EmbeddingError("learning_rate must be positive")
+        if self.epochs < 1:
+            raise EmbeddingError("epochs must be at least 1")
+        if self.batch_size < 1:
+            raise EmbeddingError("batch_size must be at least 1")
+
+
+def generate_skipgram_pairs(
+    encoded_sentences: Iterable[np.ndarray], window: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate (center, context) index pairs from encoded sentences.
+
+    Every ordered pair of tokens at distance ``1..window`` inside a sentence
+    becomes a training pair, in both directions — the standard skip-gram
+    context definition.
+    """
+    centers: List[np.ndarray] = []
+    contexts: List[np.ndarray] = []
+    for sentence in encoded_sentences:
+        n = sentence.shape[0]
+        if n < 2:
+            continue
+        for offset in range(1, min(window, n - 1) + 1):
+            left = sentence[:-offset]
+            right = sentence[offset:]
+            centers.append(left)
+            contexts.append(right)
+            centers.append(right)
+            contexts.append(left)
+    if not centers:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(centers), np.concatenate(contexts)
+
+
+def build_negative_table(counts: np.ndarray, table_size: int, power: float = 0.75) -> np.ndarray:
+    """Unigram^power negative-sampling table (index array of length ``table_size``)."""
+    weights = np.power(np.maximum(counts, 1e-12), power)
+    probabilities = weights / weights.sum()
+    cumulative = np.cumsum(probabilities)
+    positions = (np.arange(table_size) + 0.5) / table_size
+    return np.searchsorted(cumulative, positions).astype(np.int64)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def sgns_batch_update(
+    w_in: np.ndarray,
+    w_out: np.ndarray,
+    centers: np.ndarray,
+    contexts: np.ndarray,
+    negatives: np.ndarray,
+    learning_rate: float,
+) -> float:
+    """One in-place SGNS mini-batch update; returns the mean batch loss."""
+    v_in = w_in[centers]  # (B, d)
+    v_pos = w_out[contexts]  # (B, d)
+    v_neg = w_out[negatives]  # (B, K, d)
+
+    pos_score = _sigmoid(np.einsum("bd,bd->b", v_in, v_pos))
+    neg_score = _sigmoid(np.einsum("bkd,bd->bk", v_neg, v_in))
+
+    g_pos = (pos_score - 1.0)[:, None]  # (B, 1)
+    grad_in = g_pos * v_pos + np.einsum("bk,bkd->bd", neg_score, v_neg)
+    grad_pos = g_pos * v_in
+    grad_neg = neg_score[:, :, None] * v_in[:, None, :]
+
+    dimension = w_in.shape[1]
+    np.add.at(w_in, centers, -learning_rate * grad_in)
+    np.add.at(w_out, contexts, -learning_rate * grad_pos)
+    np.add.at(w_out, negatives.reshape(-1), -learning_rate * grad_neg.reshape(-1, dimension))
+
+    eps = 1e-10
+    loss = -np.mean(np.log(pos_score + eps)) - np.mean(
+        np.sum(np.log(1.0 - neg_score + eps), axis=1)
+    )
+    return float(loss)
+
+
+def sgns_sparse_gradients(
+    w_in: np.ndarray,
+    w_out: np.ndarray,
+    centers: np.ndarray,
+    contexts: np.ndarray,
+    negatives: np.ndarray,
+) -> Tuple[Dict[int, np.ndarray], Dict[int, np.ndarray], float]:
+    """Compute sparse SGNS gradients without applying them.
+
+    Returns ``(grads_in, grads_out, loss)`` where each gradient dict maps a row
+    index to its accumulated gradient.  This is the worker-side computation of
+    the parameter-server training loop: the worker pulls the needed rows,
+    computes these gradients and pushes them back to the servers.
+    """
+    v_in = w_in[centers]
+    v_pos = w_out[contexts]
+    v_neg = w_out[negatives]
+
+    pos_score = _sigmoid(np.einsum("bd,bd->b", v_in, v_pos))
+    neg_score = _sigmoid(np.einsum("bkd,bd->bk", v_neg, v_in))
+
+    g_pos = (pos_score - 1.0)[:, None]
+    grad_in_rows = g_pos * v_pos + np.einsum("bk,bkd->bd", neg_score, v_neg)
+    grad_pos_rows = g_pos * v_in
+    grad_neg_rows = neg_score[:, :, None] * v_in[:, None, :]
+
+    grads_in: Dict[int, np.ndarray] = {}
+    grads_out: Dict[int, np.ndarray] = {}
+
+    def _accumulate(target: Dict[int, np.ndarray], rows: np.ndarray, grads: np.ndarray) -> None:
+        for row, grad in zip(rows.tolist(), grads):
+            existing = target.get(row)
+            if existing is None:
+                target[row] = grad.copy()
+            else:
+                existing += grad
+
+    _accumulate(grads_in, centers, grad_in_rows)
+    _accumulate(grads_out, contexts, grad_pos_rows)
+    dimension = w_in.shape[1]
+    _accumulate(grads_out, negatives.reshape(-1), grad_neg_rows.reshape(-1, dimension))
+
+    eps = 1e-10
+    loss = -np.mean(np.log(pos_score + eps)) - np.mean(
+        np.sum(np.log(1.0 - neg_score + eps), axis=1)
+    )
+    return grads_in, grads_out, float(loss)
+
+
+class SkipGramTrainer:
+    """Single-process SGNS trainer over a corpus of node sequences."""
+
+    def __init__(self, config: SkipGramConfig | None = None, *, rng: SeedLike = None):
+        self.config = config or SkipGramConfig()
+        self.config.validate()
+        self._rng = ensure_rng(self.config.seed if rng is None else rng)
+        self.vocabulary: Vocabulary | None = None
+        self.w_in: np.ndarray | None = None
+        self.w_out: np.ndarray | None = None
+        self.loss_history: List[float] = []
+
+    # ------------------------------------------------------------------
+    def initialize(self, vocabulary: Vocabulary) -> None:
+        """Initialise parameter matrices for ``vocabulary``."""
+        self.vocabulary = vocabulary
+        size, dim = len(vocabulary), self.config.dimension
+        self.w_in = (self._rng.random((size, dim)) - 0.5) / dim
+        self.w_out = np.zeros((size, dim), dtype=np.float64)
+
+    def fit(self, corpus: Sequence[Sequence[str]]) -> EmbeddingSet:
+        """Train on ``corpus`` and return the learned input embeddings."""
+        vocabulary = build_vocabulary(corpus, min_count=self.config.min_count)
+        self.initialize(vocabulary)
+        encoded = [vocabulary.encode(sentence) for sentence in corpus]
+        centers, contexts = generate_skipgram_pairs(encoded, self.config.window)
+        if centers.size == 0:
+            raise EmbeddingError("corpus produced no skip-gram pairs")
+        table = build_negative_table(vocabulary.counts(), self.config.negative_table_size)
+        self._train_pairs(centers, contexts, table)
+        return self.embeddings()
+
+    def _train_pairs(
+        self, centers: np.ndarray, contexts: np.ndarray, table: np.ndarray
+    ) -> None:
+        assert self.w_in is not None and self.w_out is not None
+        cfg = self.config
+        num_pairs = centers.shape[0]
+        total_batches = max(1, int(np.ceil(num_pairs / cfg.batch_size))) * cfg.epochs
+        batch_counter = 0
+        for _ in range(cfg.epochs):
+            order = self._rng.permutation(num_pairs)
+            for start in range(0, num_pairs, cfg.batch_size):
+                batch = order[start : start + cfg.batch_size]
+                progress = batch_counter / total_batches
+                learning_rate = max(
+                    cfg.min_learning_rate,
+                    cfg.learning_rate * (1.0 - progress),
+                )
+                negatives = table[
+                    self._rng.integers(0, table.shape[0], size=(batch.shape[0], cfg.negatives))
+                ]
+                loss = sgns_batch_update(
+                    self.w_in,
+                    self.w_out,
+                    centers[batch],
+                    contexts[batch],
+                    negatives,
+                    learning_rate,
+                )
+                self.loss_history.append(loss)
+                batch_counter += 1
+
+    # ------------------------------------------------------------------
+    def embeddings(self) -> EmbeddingSet:
+        if self.vocabulary is None or self.w_in is None:
+            raise EmbeddingError("SkipGramTrainer has not been fitted")
+        return EmbeddingSet(self.vocabulary.tokens(), self.w_in.copy(), name="skipgram")

@@ -1,0 +1,32 @@
+"""Online real-time prediction: the Model Server and the Alipay front end.
+
+Once offline training finishes, the learned model files, per-user basic
+features and node embeddings are uploaded (to the model registry and to
+Ali-HBase).  When a user initiates a transfer in the Alipay app, the Alipay
+server calls the Model Server (MS); the MS reads the latest per-user rows from
+Ali-HBase, assembles the same feature vector the offline trainer used, scores
+the transaction within milliseconds, and — if the fraud probability exceeds
+the alert threshold — tells the Alipay server to interrupt the on-going
+transaction and notify the transferor (paper Figure 5).
+"""
+
+from repro.serving.latency import LatencyTracker, LatencyReport
+from repro.serving.model_server import (
+    ModelServer,
+    ModelServerConfig,
+    PredictionResponse,
+    TransactionRequest,
+)
+from repro.serving.alipay import AlipayServer, TransactionOutcome, ServedTransaction
+
+__all__ = [
+    "LatencyTracker",
+    "LatencyReport",
+    "ModelServer",
+    "ModelServerConfig",
+    "PredictionResponse",
+    "TransactionRequest",
+    "AlipayServer",
+    "TransactionOutcome",
+    "ServedTransaction",
+]

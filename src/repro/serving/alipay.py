@@ -1,0 +1,144 @@
+"""Alipay-server simulation: the front end that calls the Model Server.
+
+When a user transfers money in the Alipay app, the transfer request reaches
+the Alipay server, which immediately asks the Model Server for a fraud check.
+If the MS raises an alert, the on-going transaction is interrupted and the
+transferor is notified; otherwise the transfer proceeds.  The simulator
+replays transaction streams through that flow and records outcomes, so the
+serving benchmark and the end-to-end example can measure both detection
+quality and latency on the online path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.datagen.schema import Transaction
+from repro.exceptions import ServingError
+from repro.logging_utils import get_logger
+from repro.serving.model_server import ModelServer, PredictionResponse, TransactionRequest
+
+logger = get_logger("serving.alipay")
+
+
+class TransactionOutcome(str, Enum):
+    """What happened to a transfer after the fraud check."""
+
+    APPROVED = "approved"
+    INTERRUPTED = "interrupted"
+
+
+@dataclass
+class ServedTransaction:
+    """One transaction processed by the Alipay server."""
+
+    request: TransactionRequest
+    response: PredictionResponse
+    outcome: TransactionOutcome
+    was_fraud: Optional[bool] = None
+
+
+@dataclass
+class ServingReport:
+    """Aggregate outcomes of a replayed transaction stream."""
+
+    total: int
+    interrupted: int
+    approved: int
+    true_alerts: int
+    false_alerts: int
+    missed_frauds: int
+
+    @property
+    def alert_precision(self) -> float:
+        alerts = self.true_alerts + self.false_alerts
+        return self.true_alerts / alerts if alerts else 0.0
+
+    @property
+    def alert_recall(self) -> float:
+        frauds = self.true_alerts + self.missed_frauds
+        return self.true_alerts / frauds if frauds else 0.0
+
+
+class AlipayServer:
+    """Front-end simulator wired to one (or more) Model Server instances."""
+
+    def __init__(self, model_servers: Sequence[ModelServer] | ModelServer):
+        if isinstance(model_servers, ModelServer):
+            model_servers = [model_servers]
+        if not model_servers:
+            raise ServingError("AlipayServer needs at least one Model Server")
+        self._model_servers: List[ModelServer] = list(model_servers)
+        self._next_server = 0
+        self.served: List[ServedTransaction] = []
+        self.notifications: List[str] = []
+
+    # ------------------------------------------------------------------
+    def _pick_server(self) -> ModelServer:
+        """Round-robin load balancing across the distributed MS fleet."""
+        server = self._model_servers[self._next_server % len(self._model_servers)]
+        self._next_server += 1
+        return server
+
+    def process(self, request: TransactionRequest, *, was_fraud: Optional[bool] = None) -> ServedTransaction:
+        """Run one transfer through the fraud check."""
+        server = self._pick_server()
+        response = server.predict(request)
+        if response.is_fraud_alert:
+            outcome = TransactionOutcome.INTERRUPTED
+            self.notifications.append(
+                f"transaction {request.transaction_id} interrupted: fraud probability "
+                f"{response.fraud_probability:.2%}; transferor {request.payer_id} notified"
+            )
+        else:
+            outcome = TransactionOutcome.APPROVED
+        served = ServedTransaction(
+            request=request, response=response, outcome=outcome, was_fraud=was_fraud
+        )
+        self.served.append(served)
+        return served
+
+    def replay_transactions(self, transactions: Iterable[Transaction]) -> ServingReport:
+        """Replay labelled transactions (e.g. a test day) through the online path."""
+        for transaction in transactions:
+            request = TransactionRequest.from_transaction(transaction)
+            self.process(request, was_fraud=transaction.is_fraud)
+        return self.report()
+
+    # ------------------------------------------------------------------
+    def report(self) -> ServingReport:
+        total = len(self.served)
+        interrupted = sum(1 for s in self.served if s.outcome is TransactionOutcome.INTERRUPTED)
+        labelled = [s for s in self.served if s.was_fraud is not None]
+        true_alerts = sum(
+            1 for s in labelled if s.outcome is TransactionOutcome.INTERRUPTED and s.was_fraud
+        )
+        false_alerts = sum(
+            1 for s in labelled if s.outcome is TransactionOutcome.INTERRUPTED and not s.was_fraud
+        )
+        missed = sum(
+            1 for s in labelled if s.outcome is TransactionOutcome.APPROVED and s.was_fraud
+        )
+        return ServingReport(
+            total=total,
+            interrupted=interrupted,
+            approved=total - interrupted,
+            true_alerts=true_alerts,
+            false_alerts=false_alerts,
+            missed_frauds=missed,
+        )
+
+    def latency_report(self) -> Dict[str, float]:
+        """Combined latency summary across the MS fleet."""
+        reports = [server.latency.report() for server in self._model_servers]
+        total = sum(r.count for r in reports)
+        if total == 0:
+            return {"count": 0.0, "mean_ms": 0.0, "p99_ms": 0.0}
+        mean = sum(r.mean_ms * r.count for r in reports) / total
+        return {
+            "count": float(total),
+            "mean_ms": mean,
+            "p99_ms": max(r.p99_ms for r in reports),
+        }

@@ -1,0 +1,107 @@
+"""Prediction latency tracking.
+
+The system has "strict serving requirements, i.e., tens of milliseconds at
+most for online detection including computation and communication costs".
+The tracker records the wall-clock latency of every online prediction and
+summarises percentiles and SLA violations; the serving benchmark asserts the
+millisecond-level claim on the in-process reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import ServingError
+
+
+@dataclass
+class LatencyReport:
+    """Summary of recorded prediction latencies (milliseconds)."""
+
+    count: int
+    mean_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+    sla_budget_ms: float
+    sla_violations: int
+
+    @property
+    def sla_violation_rate(self) -> float:
+        return self.sla_violations / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean_ms": self.mean_ms,
+            "p50_ms": self.p50_ms,
+            "p95_ms": self.p95_ms,
+            "p99_ms": self.p99_ms,
+            "max_ms": self.max_ms,
+            "sla_budget_ms": self.sla_budget_ms,
+            "sla_violations": float(self.sla_violations),
+        }
+
+
+class LatencyTracker:
+    """Records per-request latencies against an SLA budget."""
+
+    def __init__(self, *, sla_budget_ms: float = 50.0):
+        if sla_budget_ms <= 0:
+            raise ServingError("sla_budget_ms must be positive")
+        self.sla_budget_ms = sla_budget_ms
+        self._latencies_ms: List[float] = []
+
+    # ------------------------------------------------------------------
+    def record(self, latency_ms: float) -> None:
+        if latency_ms < 0:
+            raise ServingError("latency cannot be negative")
+        self._latencies_ms.append(float(latency_ms))
+
+    def __len__(self) -> int:
+        return len(self._latencies_ms)
+
+    def reset(self) -> None:
+        self._latencies_ms = []
+
+    @property
+    def latencies_ms(self) -> List[float]:
+        return list(self._latencies_ms)
+
+    # ------------------------------------------------------------------
+    def report(self) -> LatencyReport:
+        if not self._latencies_ms:
+            return LatencyReport(
+                count=0,
+                mean_ms=0.0,
+                p50_ms=0.0,
+                p95_ms=0.0,
+                p99_ms=0.0,
+                max_ms=0.0,
+                sla_budget_ms=self.sla_budget_ms,
+                sla_violations=0,
+            )
+        values = np.array(self._latencies_ms)
+        return LatencyReport(
+            count=int(values.shape[0]),
+            mean_ms=float(values.mean()),
+            p50_ms=float(np.percentile(values, 50)),
+            p95_ms=float(np.percentile(values, 95)),
+            p99_ms=float(np.percentile(values, 99)),
+            max_ms=float(values.max()),
+            sla_budget_ms=self.sla_budget_ms,
+            sla_violations=int(np.sum(values > self.sla_budget_ms)),
+        )
+
+    def within_sla(self, *, quantile: float = 0.95) -> bool:
+        """True when the requested latency quantile fits inside the SLA budget."""
+        if not self._latencies_ms:
+            return True
+        if not 0.0 < quantile <= 1.0:
+            raise ServingError("quantile must be in (0, 1]")
+        value = float(np.percentile(np.array(self._latencies_ms), quantile * 100.0))
+        return value <= self.sla_budget_ms

@@ -1,0 +1,252 @@
+"""The Model Server (MS).
+
+The MS answers the Alipay server's fraud-check calls.  For each transaction
+request it
+
+1. reads the payer's and payee's latest rows from Ali-HBase — one column
+   family with profile/basic features, one with the user node embeddings,
+2. assembles exactly the feature vector the offline trainer used
+   (52 basic features followed by the configured embedding blocks),
+3. scores it with the currently loaded model file and compares against the
+   alert threshold calibrated offline,
+4. reports the decision together with the measured latency.
+
+Model files are replaced periodically ("T+1"): :meth:`ModelServer.load_model`
+hot-swaps the detector and records the version, without interrupting serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datagen.schema import Gender, Transaction, TransactionChannel, UserProfile
+from repro.exceptions import ModelNotLoadedError, ServingError
+from repro.features.basic import BasicFeatureExtractor
+from repro.hbase.client import BASIC_FEATURES_FAMILY, EMBEDDINGS_FAMILY, HBaseClient
+from repro.logging_utils import Stopwatch, get_logger
+from repro.models.base import BaseDetector
+from repro.serving.latency import LatencyTracker
+
+logger = get_logger("serving.model_server")
+
+
+@dataclass
+class TransactionRequest:
+    """The online request payload: a transaction without a label."""
+
+    transaction_id: str
+    payer_id: str
+    payee_id: str
+    amount: float
+    hour: int
+    day: int
+    channel: TransactionChannel
+    trans_city: str
+    device_id: str
+    is_new_device: bool
+    ip_risk_score: float
+    payer_recent_txn_count: int = 0
+    payer_recent_amount: float = 0.0
+    payee_recent_inbound_count: int = 0
+
+    @classmethod
+    def from_transaction(cls, transaction: Transaction) -> "TransactionRequest":
+        """Strip the label from an offline transaction record."""
+        return cls(
+            transaction_id=transaction.transaction_id,
+            payer_id=transaction.payer_id,
+            payee_id=transaction.payee_id,
+            amount=transaction.amount,
+            hour=transaction.hour,
+            day=transaction.day,
+            channel=transaction.channel,
+            trans_city=transaction.trans_city,
+            device_id=transaction.device_id,
+            is_new_device=transaction.is_new_device,
+            ip_risk_score=transaction.ip_risk_score,
+            payer_recent_txn_count=transaction.payer_recent_txn_count,
+            payer_recent_amount=transaction.payer_recent_amount,
+            payee_recent_inbound_count=transaction.payee_recent_inbound_count,
+        )
+
+    def to_transaction(self) -> Transaction:
+        """View the request as an (unlabelled) transaction for feature extraction."""
+        return Transaction(
+            transaction_id=self.transaction_id,
+            day=self.day,
+            hour=self.hour,
+            payer_id=self.payer_id,
+            payee_id=self.payee_id,
+            amount=self.amount,
+            channel=self.channel,
+            trans_city=self.trans_city,
+            device_id=self.device_id,
+            is_new_device=self.is_new_device,
+            ip_risk_score=self.ip_risk_score,
+            payer_recent_txn_count=self.payer_recent_txn_count,
+            payer_recent_amount=self.payer_recent_amount,
+            payee_recent_inbound_count=self.payee_recent_inbound_count,
+            is_fraud=False,
+            label_available_day=self.day,
+        )
+
+
+@dataclass
+class PredictionResponse:
+    """Result of one online fraud check."""
+
+    transaction_id: str
+    fraud_probability: float
+    is_fraud_alert: bool
+    threshold: float
+    model_version: str
+    latency_ms: float
+
+
+@dataclass
+class ModelServerConfig:
+    """Configuration of the online feature assembly and alerting."""
+
+    feature_table: str = "titant_features"
+    #: Ordered embedding blocks: (set name, dimension) — must match training.
+    embedding_specs: List[tuple] = field(default_factory=list)
+    #: "payer", "payee" or "both" — must match the offline FeatureAssembler.
+    embedding_side: str = "both"
+    alert_threshold: float = 0.5
+    sla_budget_ms: float = 50.0
+
+    def validate(self) -> None:
+        if self.embedding_side not in ("payer", "payee", "both"):
+            raise ServingError("embedding_side must be 'payer', 'payee' or 'both'")
+        if not 0.0 <= self.alert_threshold <= 1.0:
+            raise ServingError("alert_threshold must be in [0, 1]")
+
+
+class ModelServer:
+    """One Model Server instance."""
+
+    def __init__(
+        self,
+        hbase: HBaseClient,
+        config: Optional[ModelServerConfig] = None,
+    ) -> None:
+        self.hbase = hbase
+        self.config = config or ModelServerConfig()
+        self.config.validate()
+        self._model: Optional[BaseDetector] = None
+        self._model_version: str = ""
+        self.latency = LatencyTracker(sla_budget_ms=self.config.sla_budget_ms)
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    # Model lifecycle
+    # ------------------------------------------------------------------
+    def load_model(
+        self,
+        model: BaseDetector,
+        *,
+        version: str,
+        threshold: Optional[float] = None,
+        embedding_specs: Optional[Sequence[tuple]] = None,
+        embedding_side: Optional[str] = None,
+    ) -> None:
+        """Hot-swap the served model (the periodic T+1 update)."""
+        if not model.is_fitted:
+            raise ServingError("cannot load an unfitted model into the Model Server")
+        self._model = model
+        self._model_version = version
+        if threshold is not None:
+            self.config.alert_threshold = float(threshold)
+        if embedding_specs is not None:
+            self.config.embedding_specs = [tuple(spec) for spec in embedding_specs]
+        if embedding_side is not None:
+            self.config.embedding_side = embedding_side
+            self.config.validate()
+        logger.info("model %s loaded (threshold %.3f)", version, self.config.alert_threshold)
+
+    @property
+    def model_version(self) -> str:
+        return self._model_version
+
+    @property
+    def has_model(self) -> bool:
+        return self._model is not None
+
+    # ------------------------------------------------------------------
+    # Online prediction
+    # ------------------------------------------------------------------
+    def predict(self, request: TransactionRequest) -> PredictionResponse:
+        """Score one transaction request against the loaded model."""
+        if self._model is None:
+            raise ModelNotLoadedError("the Model Server has no model loaded")
+        watch = Stopwatch().start()
+        vector = self._assemble_features(request)
+        probability = float(self._model.predict_proba(vector.reshape(1, -1))[0])
+        latency_ms = watch.stop() * 1000.0
+        self.latency.record(latency_ms)
+        self.requests_served += 1
+        return PredictionResponse(
+            transaction_id=request.transaction_id,
+            fraud_probability=probability,
+            is_fraud_alert=probability >= self.config.alert_threshold,
+            threshold=self.config.alert_threshold,
+            model_version=self._model_version,
+            latency_ms=latency_ms,
+        )
+
+    def predict_batch(self, requests: Sequence[TransactionRequest]) -> List[PredictionResponse]:
+        return [self.predict(request) for request in requests]
+
+    # ------------------------------------------------------------------
+    # Feature assembly from Ali-HBase rows
+    # ------------------------------------------------------------------
+    def _assemble_features(self, request: TransactionRequest) -> np.ndarray:
+        payer_profile = self._profile_from_hbase(request.payer_id)
+        payee_profile = self._profile_from_hbase(request.payee_id)
+        extractor = BasicFeatureExtractor(
+            {payer_profile.user_id: payer_profile, payee_profile.user_id: payee_profile}
+        )
+        basic = extractor.extract_one(request.to_transaction())
+        blocks = [basic]
+        for set_name, dimension in self.config.embedding_specs:
+            blocks.append(self._embedding_block(set_name, int(dimension), request))
+        return np.concatenate(blocks)
+
+    def _profile_from_hbase(self, user_id: str) -> UserProfile:
+        row = self.hbase.get_or_default(
+            self.config.feature_table, user_id, BASIC_FEATURES_FAMILY, default={}
+        )
+        return UserProfile(
+            user_id=user_id,
+            age=int(row.get("age", 35)),
+            gender=Gender(row.get("gender", "U")),
+            home_city=str(row.get("home_city", "city_000")),
+            account_age_days=int(row.get("account_age_days", 365)),
+            kyc_level=int(row.get("kyc_level", 2)),
+            is_merchant=bool(row.get("is_merchant", False)),
+            device_count=int(row.get("device_count", 1)),
+            community=int(row.get("community", -1)),
+        )
+
+    def _embedding_block(
+        self, set_name: str, dimension: int, request: TransactionRequest
+    ) -> np.ndarray:
+        sides: List[str]
+        if self.config.embedding_side == "both":
+            sides = ["payer", "payee"]
+        else:
+            sides = [self.config.embedding_side]
+        pieces: List[np.ndarray] = []
+        for side in sides:
+            user_id = request.payer_id if side == "payer" else request.payee_id
+            row = self.hbase.get_or_default(
+                self.config.feature_table, user_id, EMBEDDINGS_FAMILY, default={}
+            )
+            vector = np.zeros(dimension)
+            for dim in range(dimension):
+                vector[dim] = float(row.get(f"{set_name}_{dim}", 0.0))
+            pieces.append(vector)
+        return np.concatenate(pieces)

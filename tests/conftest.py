@@ -1,0 +1,73 @@
+"""Shared fixtures.
+
+The expensive artefacts (a synthetic world, its T+1 slice, the transaction
+network and the extracted feature matrices) are built once per test session
+and shared, so the suite stays fast while every layer is exercised against
+realistic data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datagen import generate_world
+from repro.datagen.datasets import DatasetBuilder, small_world_config
+from repro.datagen.profiles import ProfileConfig
+from repro.datagen.transactions import WorldConfig
+from repro.features.basic import BasicFeatureExtractor
+from repro.graph.builder import build_network
+
+
+TEST_NETWORK_DAYS = 18
+TEST_TRAIN_DAYS = 6
+
+
+@pytest.fixture(scope="session")
+def world():
+    """A small but fully featured synthetic world (session-scoped)."""
+    config = WorldConfig(
+        profile=ProfileConfig(
+            num_users=500,
+            num_communities=8,
+            fraudster_fraction=0.035,
+            seed=101,
+        ),
+        num_days=30,
+        transactions_per_user_per_day=0.5,
+        seed=101,
+    )
+    return generate_world(config)
+
+
+@pytest.fixture(scope="session")
+def dataset(world):
+    """One T+1 dataset slice of the session world."""
+    builder = DatasetBuilder(world, network_days=TEST_NETWORK_DAYS, train_days=TEST_TRAIN_DAYS)
+    return builder.build(builder.earliest_test_day())
+
+
+@pytest.fixture(scope="session")
+def network(dataset):
+    """Transaction network built from the slice's 18-day history."""
+    return build_network(dataset.network_transactions)
+
+
+@pytest.fixture(scope="session")
+def feature_matrices(world, dataset):
+    """(train, test) basic-feature matrices of the session slice."""
+    extractor = BasicFeatureExtractor(world.profiles_by_id)
+    train = extractor.extract(dataset.train_transactions)
+    test = extractor.extract(dataset.test_transactions)
+    return train, test
+
+
+@pytest.fixture(scope="session")
+def small_classification_data():
+    """A tiny deterministic binary classification problem with real signal."""
+    rng = np.random.default_rng(7)
+    num_rows = 600
+    features = rng.normal(size=(num_rows, 6))
+    logits = 1.8 * features[:, 0] - 1.2 * features[:, 1] + 0.6 * features[:, 2] * features[:, 3]
+    labels = (logits + rng.normal(scale=0.5, size=num_rows) > 0.8).astype(float)
+    return features, labels

@@ -1,0 +1,227 @@
+"""Tests of the Ali-HBase substrate and the online serving path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import (
+    ModelNotLoadedError,
+    RowNotFoundError,
+    ServingError,
+    StorageError,
+    TableNotFoundError,
+)
+from repro.hbase import HBaseClient, HBaseTable, WriteAheadLog
+from repro.hbase.client import BASIC_FEATURES_FAMILY, EMBEDDINGS_FAMILY
+from repro.hbase.region import RegionRouter
+from repro.models.gbdt import GradientBoostingClassifier
+from repro.serving import (
+    AlipayServer,
+    LatencyTracker,
+    ModelServer,
+    ModelServerConfig,
+    TransactionRequest,
+)
+from repro.serving.alipay import TransactionOutcome
+
+
+class TestHBaseTable:
+    def test_put_get_latest_version(self):
+        table = HBaseTable("features", ["cf"])
+        table.put("zoe", "cf", {"age": 30}, version=1)
+        table.put("zoe", "cf", {"age": 31}, version=2)
+        assert table.get("zoe", "cf")["age"] == 31
+        assert table.get("zoe", "cf", version=1)["age"] == 30
+
+    def test_missing_row_raises(self):
+        table = HBaseTable("features", ["cf"])
+        with pytest.raises(RowNotFoundError):
+            table.get("nobody", "cf")
+
+    def test_version_pruning(self):
+        table = HBaseTable("features", ["cf"], max_versions=2)
+        for version in range(1, 5):
+            table.put("zoe", "cf", {"age": version}, version=version)
+        versions = table.family("cf").cell_versions("zoe", "age")
+        assert versions == [3, 4]
+
+    def test_unknown_family_rejected(self):
+        table = HBaseTable("features", ["cf"])
+        with pytest.raises(StorageError):
+            table.get("zoe", "other")
+
+    def test_scan_with_prefix_and_limit(self):
+        table = HBaseTable("features", ["cf"])
+        for index in range(10):
+            table.put(f"u{index:02d}", "cf", {"x": index}, version=1)
+        results = table.scan("cf", prefix="u0", limit=5)
+        assert len(results) == 5
+        assert all(key.startswith("u0") for key, _ in results)
+
+
+class TestRegionsAndWAL:
+    def test_routing_is_deterministic_and_spread(self):
+        router = RegionRouter(num_regions=4)
+        assert router.region_for("user_1").server_id == router.region_for("user_1").server_id
+        for index in range(200):
+            router.record_write(f"user_{index}")
+        report = router.load_report()
+        assert sum(stats["writes"] for stats in report.values()) == 200
+        assert all(stats["writes"] > 0 for stats in report.values())
+
+    def test_wal_replay_restores_table(self):
+        wal = WriteAheadLog()
+        original = HBaseTable("t", ["cf"])
+        for index in range(5):
+            wal.append("t", f"u{index}", "cf", {"x": index}, version=1)
+            original.put(f"u{index}", "cf", {"x": index}, version=1)
+        recovered = HBaseTable("t", ["cf"])
+        assert wal.replay(recovered, table_name="t") == 5
+        assert recovered.get("u3", "cf") == original.get("u3", "cf")
+
+    def test_client_end_to_end(self):
+        client = HBaseClient()
+        client.create_feature_store()
+        client.put("titant_features", "u1", BASIC_FEATURES_FAMILY, {"age": 30}, version=1)
+        assert client.get("titant_features", "u1", BASIC_FEATURES_FAMILY)["age"] == 30
+        assert client.get_or_default(
+            "titant_features", "ghost", BASIC_FEATURES_FAMILY, default={"age": 0}
+        ) == {"age": 0}
+        with pytest.raises(TableNotFoundError):
+            client.get("missing_table", "u1", BASIC_FEATURES_FAMILY)
+        assert client.wal_size() == 1
+
+
+class TestLatencyTracker:
+    def test_report_percentiles(self):
+        tracker = LatencyTracker(sla_budget_ms=10.0)
+        for value in (1.0, 2.0, 3.0, 20.0):
+            tracker.record(value)
+        report = tracker.report()
+        assert report.count == 4
+        assert report.max_ms == 20.0
+        assert report.sla_violations == 1
+        assert not tracker.within_sla(quantile=0.99)
+
+    def test_invalid_values_rejected(self):
+        tracker = LatencyTracker()
+        with pytest.raises(ServingError):
+            tracker.record(-1.0)
+        with pytest.raises(ServingError):
+            LatencyTracker(sla_budget_ms=0.0)
+
+
+@pytest.fixture()
+def serving_stack(world, dataset, feature_matrices):
+    """An HBase store + Model Server loaded with a trained basic-features GBDT."""
+    train, _ = feature_matrices
+    model = GradientBoostingClassifier(num_trees=20, seed=0).fit(train.values, train.labels)
+    hbase = HBaseClient()
+    hbase.create_feature_store()
+    for profile in world.profiles:
+        hbase.put(
+            "titant_features",
+            profile.user_id,
+            BASIC_FEATURES_FAMILY,
+            {
+                "age": profile.age,
+                "gender": profile.gender.value,
+                "home_city": profile.home_city,
+                "account_age_days": profile.account_age_days,
+                "kyc_level": profile.kyc_level,
+                "is_merchant": profile.is_merchant,
+                "device_count": profile.device_count,
+                "community": profile.community,
+            },
+            version=dataset.spec.test_day,
+        )
+    server = ModelServer(hbase, ModelServerConfig(embedding_specs=[], embedding_side="both"))
+    server.load_model(model, version="test_v1", threshold=0.5)
+    return hbase, server
+
+
+class TestModelServer:
+    def test_predict_without_model_raises(self):
+        server = ModelServer(HBaseClient())
+        server.hbase.create_feature_store()
+        request = TransactionRequest(
+            transaction_id="t1",
+            payer_id="a",
+            payee_id="b",
+            amount=10.0,
+            hour=12,
+            day=0,
+            channel=list(__import__("repro.datagen.schema", fromlist=["TransactionChannel"]).TransactionChannel)[0],
+            trans_city="city_001",
+            device_id="d",
+            is_new_device=False,
+            ip_risk_score=0.1,
+        )
+        with pytest.raises(ModelNotLoadedError):
+            server.predict(request)
+
+    def test_online_prediction_matches_offline_features(self, serving_stack, world, dataset):
+        _, server = serving_stack
+        from repro.features.basic import BasicFeatureExtractor
+
+        extractor = BasicFeatureExtractor(world.profiles_by_id)
+        txn = dataset.test_transactions[0]
+        offline_vector = extractor.extract_one(txn)
+        online_vector = server._assemble_features(TransactionRequest.from_transaction(txn))
+        assert np.allclose(offline_vector, online_vector)
+
+    def test_latency_is_milliseconds_scale(self, serving_stack, dataset):
+        _, server = serving_stack
+        for txn in dataset.test_transactions[:30]:
+            server.predict(TransactionRequest.from_transaction(txn))
+        report = server.latency.report()
+        assert report.count == 30
+        assert report.p99_ms < 50.0  # the paper's "tens of milliseconds" budget
+
+    def test_model_hot_reload_changes_version(self, serving_stack, feature_matrices):
+        _, server = serving_stack
+        train, _ = feature_matrices
+        new_model = GradientBoostingClassifier(num_trees=5, seed=1).fit(train.values, train.labels)
+        server.load_model(new_model, version="test_v2", threshold=0.7)
+        assert server.model_version == "test_v2"
+        assert server.config.alert_threshold == pytest.approx(0.7)
+
+    def test_unfitted_model_rejected(self, serving_stack):
+        _, server = serving_stack
+        with pytest.raises(ServingError):
+            server.load_model(GradientBoostingClassifier(), version="bad")
+
+
+class TestAlipayServer:
+    def test_interruption_flow_and_report(self, serving_stack, dataset):
+        _, server = serving_stack
+        alipay = AlipayServer(server)
+        report = alipay.replay_transactions(dataset.test_transactions[:200])
+        assert report.total == 200
+        assert report.approved + report.interrupted == 200
+        # Every interruption generated a user notification.
+        assert len(alipay.notifications) == report.interrupted
+        assert 0.0 <= report.alert_precision <= 1.0
+        assert 0.0 <= report.alert_recall <= 1.0
+
+    def test_round_robin_across_model_servers(self, serving_stack, feature_matrices, dataset):
+        hbase, first = serving_stack
+        train, _ = feature_matrices
+        second = ModelServer(hbase, ModelServerConfig())
+        second.load_model(
+            GradientBoostingClassifier(num_trees=5, seed=9).fit(train.values, train.labels),
+            version="replica",
+        )
+        alipay = AlipayServer([first, second])
+        for txn in dataset.test_transactions[:10]:
+            alipay.process(TransactionRequest.from_transaction(txn))
+        assert second.requests_served == 5
+
+    def test_latency_report_aggregates(self, serving_stack, dataset):
+        _, server = serving_stack
+        alipay = AlipayServer(server)
+        alipay.replay_transactions(dataset.test_transactions[:20])
+        summary = alipay.latency_report()
+        assert summary["count"] >= 20.0
+        assert summary["mean_ms"] > 0.0

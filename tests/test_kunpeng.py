@@ -1,0 +1,184 @@
+"""Tests of the KunPeng parameter-server substrate and distributed training."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterServerError, WorkerFailureError
+from repro.graph.random_walk import RandomWalkConfig
+from repro.kunpeng import (
+    ClusterConfig,
+    FailureInjector,
+    KunPengCluster,
+    ParameterServerNode,
+    WorkerNode,
+    estimate_deepwalk_time,
+    estimate_gbdt_time,
+)
+from repro.kunpeng.cost_model import ClusterCostModel, scalability_curve
+from repro.models.distributed import DistributedGBDT, DistributedLogisticRegression
+from repro.nrl.distributed import DistributedDeepWalk, DistributedDeepWalkConfig
+from repro.nrl.word2vec import SkipGramConfig
+
+
+class TestServerNode:
+    def test_pull_push_round_trip(self):
+        server = ParameterServerNode(0)
+        server.host_shard("w", 0, 4, np.zeros((4, 2)))
+        server.push("w", {1: np.array([1.0, 2.0])}, learning_rate=0.5)
+        pulled = server.pull("w", [1])
+        assert pulled[1].tolist() == [-0.5, -1.0]
+
+    def test_out_of_range_row_rejected(self):
+        server = ParameterServerNode(0)
+        server.host_shard("w", 0, 4, np.zeros((4, 2)))
+        with pytest.raises(ParameterServerError):
+            server.pull("w", [10])
+
+    def test_model_average(self):
+        server = ParameterServerNode(0)
+        server.host_shard("w", 0, 2, np.zeros((2, 2)))
+        server.push_average("w", [np.ones((2, 2)), 3 * np.ones((2, 2))])
+        assert np.allclose(server.pull_all("w"), 2.0)
+
+
+class TestWorkerNode:
+    def test_failure_and_restart(self):
+        worker = WorkerNode(0)
+        worker.assign_partition([1, 2, 3])
+        worker.fail()
+        with pytest.raises(WorkerFailureError):
+            worker.run(lambda w: None)
+        worker.restart()
+        assert worker.run(lambda w: len(w.partition)) == 3
+        assert worker.stats.failures == 1 and worker.stats.restarts == 1
+
+    def test_compute_units_accumulate(self):
+        worker = WorkerNode(1)
+        worker.assign_partition(list(range(5)))
+        worker.run(lambda w: None)
+        worker.run(lambda w: None, compute_units=10.0)
+        assert worker.stats.compute_units == pytest.approx(15.0)
+
+
+class TestCluster:
+    def test_half_servers_half_workers(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=10))
+        assert len(cluster.servers) == 5
+        assert len(cluster.workers) == 5
+
+    def test_parameter_partitioning_and_reassembly(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=6))
+        matrix = np.arange(20.0).reshape(10, 2)
+        cluster.create_parameter("emb", matrix)
+        assert np.allclose(cluster.pull_matrix("emb"), matrix)
+
+    def test_push_routes_to_owning_server(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=4))
+        cluster.create_parameter("emb", np.zeros((8, 2)))
+        cluster.push_gradients("emb", {0: np.array([1.0, 1.0]), 7: np.array([2.0, 2.0])})
+        updated = cluster.pull_matrix("emb")
+        assert updated[0].tolist() == [-1.0, -1.0]
+        assert updated[7].tolist() == [-2.0, -2.0]
+
+    def test_scatter_data_round_robin(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=6))
+        cluster.scatter_data(list(range(10)))
+        sizes = [len(w.partition) for w in cluster.workers]
+        assert sum(sizes) == 10
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_duplicate_parameter_rejected(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=4))
+        cluster.create_parameter("w", np.zeros((4, 2)))
+        with pytest.raises(ParameterServerError):
+            cluster.create_parameter("w", np.zeros((4, 2)))
+
+
+class TestFailover:
+    def test_injector_respects_probability_zero(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=6))
+        injector = FailureInjector(cluster, failure_probability=0.0, rng=0)
+        assert injector.maybe_fail(0) == []
+
+    def test_heal_restarts_all_workers(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=6))
+        injector = FailureInjector(cluster, failure_probability=1.0, rng=0)
+        crashed = injector.maybe_fail(0)
+        assert crashed, "expected at least one crash at probability 1"
+        assert len(cluster.alive_workers()) >= 1  # never kills the last worker
+        injector.heal()
+        assert len(cluster.alive_workers()) == len(cluster.workers)
+
+
+class TestCostModel:
+    def test_deepwalk_time_decreases_with_machines(self):
+        times = [estimate_deepwalk_time(m).total_minutes for m in (4, 10, 20, 40)]
+        assert times == sorted(times, reverse=True)
+
+    def test_gbdt_time_flattens_beyond_20_machines(self):
+        t4 = estimate_gbdt_time(4).total_seconds
+        t20 = estimate_gbdt_time(20).total_seconds
+        t40 = estimate_gbdt_time(40).total_seconds
+        assert t20 < t4
+        # From 20 to 40 machines the improvement (if any) is marginal.
+        assert t40 > 0.8 * t20
+
+    def test_scalability_curve_columns(self):
+        rows = scalability_curve()
+        assert {"num_machines", "deepwalk_minutes", "gbdt_seconds"} <= set(rows[0])
+        assert [r["num_machines"] for r in rows] == [4.0, 10.0, 20.0, 40.0]
+
+    def test_invalid_cost_model_rejected(self):
+        with pytest.raises(Exception):
+            ClusterCostModel(compute_seconds_per_unit=-1.0).validate()
+
+
+class TestDistributedTraining:
+    def test_distributed_deepwalk_produces_embeddings(self, network):
+        config = DistributedDeepWalkConfig(
+            cluster=ClusterConfig(num_machines=4),
+            walk=RandomWalkConfig(walk_length=10, num_walks_per_node=2),
+            skipgram=SkipGramConfig(dimension=8, window=3, epochs=1, batch_size=512),
+            rounds_per_epoch=2,
+            seed=0,
+        )
+        model = DistributedDeepWalk(config).fit(network)
+        embeddings = model.embeddings()
+        assert len(embeddings) == network.num_nodes
+        summary = model.workload_summary()
+        assert summary["worker_compute_units"] > 0
+        assert summary["values_transferred"] > 0
+        assert model.estimate_time().total_seconds > 0
+
+    def test_distributed_deepwalk_survives_worker_failures(self, network):
+        config = DistributedDeepWalkConfig(
+            cluster=ClusterConfig(num_machines=6),
+            walk=RandomWalkConfig(walk_length=8, num_walks_per_node=2),
+            skipgram=SkipGramConfig(dimension=4, window=2, epochs=1, batch_size=256),
+            rounds_per_epoch=3,
+            failure_probability=0.5,
+            seed=1,
+        )
+        model = DistributedDeepWalk(config).fit(network)
+        assert model.failure_injector.total_failures > 0
+        assert len(model.embeddings()) == network.num_nodes
+
+    def test_distributed_lr_matches_single_machine_quality(self, small_classification_data):
+        features, labels = small_classification_data
+        model = DistributedLogisticRegression(
+            cluster=ClusterConfig(num_machines=4), iterations=80, seed=0
+        ).fit(features, labels)
+        accuracy = (model.predict(features) == labels).mean()
+        assert accuracy > 0.8
+        assert model.stats.rounds == 80
+
+    def test_distributed_gbdt_learns(self, small_classification_data):
+        features, labels = small_classification_data
+        model = DistributedGBDT(
+            cluster=ClusterConfig(num_machines=4), num_trees=20, seed=0
+        ).fit(features, labels)
+        accuracy = (model.predict(features) == labels).mean()
+        assert accuracy > 0.8
+        assert model.estimate_time().total_seconds > 0

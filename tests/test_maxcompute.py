@@ -1,0 +1,249 @@
+"""Tests of the MaxCompute substrate: tables, SQL, MapReduce, scheduling."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    JobError,
+    ResourceExhaustedError,
+    SchemaError,
+    SQLParseError,
+    SQLPlanError,
+    TableAlreadyExistsError,
+    TableNotFoundError,
+)
+from repro.maxcompute import (
+    Column,
+    ColumnType,
+    FuxiScheduler,
+    InstanceStatus,
+    MapReduceJob,
+    MaxComputeClient,
+    OpenTableService,
+    PanguStorage,
+    Schema,
+    Table,
+    TableCatalog,
+    run_mapreduce,
+)
+from repro.maxcompute.mapreduce import daily_fraud_rate_job, transaction_edge_job
+from repro.maxcompute.sql import SQLExecutor, parse_sql
+from repro.maxcompute.table import table_from_records
+
+
+@pytest.fixture()
+def client(world):
+    """A MaxCompute client loaded with a sample of the world's transactions."""
+    client = MaxComputeClient()
+    client.load_records("transactions", [t.to_row() for t in world.transactions[:3000]])
+    return client
+
+
+class TestTables:
+    def test_schema_inference_and_coercion(self):
+        rows = [{"name": "u1", "amount": 10.5, "count": 3, "flag": True}]
+        table = table_from_records("t", rows)
+        assert table.schema.column("amount").type is ColumnType.DOUBLE
+        assert table.schema.column("count").type is ColumnType.BIGINT
+        assert table.schema.column("flag").type is ColumnType.BOOLEAN
+        table.append({"name": 5, "amount": "2.5", "count": "7", "flag": "false"})
+        assert table.row(1) == {"name": "5", "amount": 2.5, "count": 7, "flag": False}
+
+    def test_unknown_column_rejected(self):
+        table = Table("t", Schema([Column("a", ColumnType.BIGINT)]))
+        with pytest.raises(SchemaError):
+            table.append({"a": 1, "b": 2})
+
+    def test_duplicate_schema_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a", ColumnType.BIGINT), Column("a", ColumnType.DOUBLE)])
+
+    def test_partitioning_covers_all_rows(self):
+        table = table_from_records("t", [{"x": i} for i in range(10)])
+        splits = table.partition_column("x", 3)
+        assert sum(len(s) for s in splits) == 10
+
+    def test_storage_and_catalog_lifecycle(self, tmp_path):
+        storage = PanguStorage(root_directory=tmp_path)
+        catalog = TableCatalog(storage)
+        schema = Schema.from_dict({"user": "string", "score": "double"})
+        catalog.create_table("scores", schema)
+        catalog.insert_rows("scores", [{"user": "u1", "score": 0.5}])
+        with pytest.raises(TableAlreadyExistsError):
+            catalog.create_table("scores", schema)
+        storage.snapshot("scores")
+        storage.delete("scores")
+        with pytest.raises(TableNotFoundError):
+            catalog.get_table("scores")
+        restored = storage.restore("scores")
+        assert restored.num_rows == 1
+
+
+class TestSQL:
+    def test_parse_full_statement(self):
+        statement = parse_sql(
+            "SELECT payer_id, COUNT(*) AS n FROM txns "
+            "WHERE amount > 100 AND (is_fraud = true OR hour >= 22) "
+            "GROUP BY payer_id ORDER BY n DESC LIMIT 5"
+        )
+        assert statement.table == "txns"
+        assert statement.group_by == ["payer_id"]
+        assert statement.order_by == "n" and statement.order_desc
+        assert statement.limit == 5
+
+    def test_parse_errors(self):
+        with pytest.raises(SQLParseError):
+            parse_sql("SELEC * FROM t")
+        with pytest.raises(SQLParseError):
+            parse_sql("SELECT * FROM t WHERE amount >")
+        with pytest.raises(SQLParseError):
+            parse_sql("")
+
+    def test_where_filter_and_projection(self, client):
+        result = client.submit_sql(
+            "SELECT transaction_id, amount FROM transactions WHERE is_fraud = true"
+        )
+        assert result.succeeded
+        records = result.result_table.to_records()
+        table = client.get_table("transactions")
+        expected = sum(1 for row in table.rows() if row["is_fraud"])
+        assert len(records) == expected
+
+    def test_group_by_aggregates(self, client):
+        result = client.submit_sql(
+            "SELECT day, COUNT(*) AS n, SUM(amount) AS total, AVG(amount) AS mean_amount "
+            "FROM transactions GROUP BY day ORDER BY day"
+        )
+        records = result.result_table.to_records()
+        assert records, "expected at least one group"
+        for row in records:
+            assert row["mean_amount"] == pytest.approx(row["total"] / row["n"])
+
+    def test_limit_and_order(self, client):
+        result = client.submit_sql(
+            "SELECT transaction_id, amount FROM transactions ORDER BY amount DESC LIMIT 10"
+        )
+        amounts = [row["amount"] for row in result.result_table.to_records()]
+        assert len(amounts) == 10
+        assert amounts == sorted(amounts, reverse=True)
+
+    def test_unknown_column_planning_error(self, client):
+        executor = SQLExecutor(client.catalog)
+        with pytest.raises(SQLPlanError):
+            executor.execute("SELECT nope FROM transactions")
+
+    def test_in_and_not_conditions(self, client):
+        result = client.submit_sql(
+            "SELECT transaction_id FROM transactions WHERE day IN (0, 1) AND NOT is_fraud = true"
+        )
+        table = client.get_table("transactions")
+        expected = sum(1 for row in table.rows() if row["day"] in (0, 1) and not row["is_fraud"])
+        assert result.result_table.num_rows == expected
+
+
+class TestMapReduce:
+    def test_edge_aggregation_matches_direct_count(self, client, world):
+        result = client.submit_mapreduce(transaction_edge_job(), "transactions")
+        assert result.succeeded
+        edges = {
+            (row["payer_id"], row["payee_id"]): row["weight"]
+            for row in result.result_table.to_records()
+        }
+        sample = world.transactions[:3000]
+        pair = (sample[0].payer_id, sample[0].payee_id)
+        expected = sum(1 for t in sample if (t.payer_id, t.payee_id) == pair)
+        assert edges[pair] == pytest.approx(expected)
+
+    def test_daily_fraud_rate_job(self, client):
+        result = client.submit_mapreduce(daily_fraud_rate_job(), "transactions")
+        rows = result.result_table.to_records()
+        assert all(0.0 <= row["fraud_rate"] <= 1.0 for row in rows)
+        assert result.stats is not None and result.stats.input_rows == 3000
+
+    def test_invalid_job_rejected(self):
+        job = MapReduceJob(name="", map_function=lambda r: [], reduce_function=lambda k, v: [])
+        table = table_from_records("t", [{"x": 1}])
+        with pytest.raises(JobError):
+            run_mapreduce(job, table)
+
+
+class TestScheduler:
+    def test_job_lifecycle_in_ots(self):
+        scheduler = FuxiScheduler()
+        instance = scheduler.submit("demo", "sql", [lambda: 1, lambda: 2])
+        assert scheduler.ots.get(instance.instance_id).status is InstanceStatus.RUNNING
+        scheduler.run_instance(instance.instance_id)
+        record = scheduler.ots.get(instance.instance_id)
+        assert record.status is InstanceStatus.TERMINATED
+        assert record.progress == pytest.approx(1.0)
+        assert instance.results() == [1, 2]
+
+    def test_failed_subtask_marks_instance_failed(self):
+        scheduler = FuxiScheduler()
+
+        def _boom():
+            raise ValueError("broken subtask")
+
+        instance = scheduler.submit("demo", "sql", [_boom])
+        scheduler.run_instance(instance.instance_id)
+        assert scheduler.ots.get(instance.instance_id).status is InstanceStatus.FAILED
+
+    def test_priority_order(self):
+        scheduler = FuxiScheduler()
+        executed = []
+        scheduler.submit("low", "sql", [lambda: executed.append("low")], priority=20)
+        scheduler.submit("high", "sql", [lambda: executed.append("high")], priority=1)
+        scheduler.run_pending()
+        assert executed[0] == "high"
+
+    def test_resource_exhaustion(self):
+        scheduler = FuxiScheduler(total_slots=2)
+        with pytest.raises(ResourceExhaustedError):
+            scheduler.submit("big", "sql", [lambda: None], slots_per_task=5)
+
+    def test_ots_summary_counts(self):
+        ots = OpenTableService()
+        record = ots.register("a", "sql")
+        ots.set_status(record.instance_id, InstanceStatus.RUNNING)
+        summary = ots.summary()
+        assert summary["running"] == 1
+
+
+class TestClient:
+    def test_unauthorized_account_rejected(self):
+        with pytest.raises(JobError):
+            MaxComputeClient(account="intruder", authorized_accounts=["titant_offline"])
+
+    def test_result_table_registration(self, client):
+        client.submit_sql(
+            "SELECT payer_id, COUNT(*) AS n FROM transactions GROUP BY payer_id",
+            result_table="payer_counts",
+        )
+        assert "payer_counts" in client.list_tables()
+        assert client.get_table("payer_counts").num_rows > 0
+
+    def test_store_artifact(self, client):
+        table = client.store_artifact("model_meta", [{"version": "v1", "f1": 0.6}])
+        assert table.num_rows == 1
+        assert "model_meta" in client.list_tables()
+
+    def test_job_summary_counts_terminated_instances(self, client):
+        client.submit_sql("SELECT COUNT(*) AS n FROM transactions")
+        assert client.job_summary()["terminated"] >= 1
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    amounts=st.lists(st.floats(0.1, 1e5, allow_nan=False), min_size=1, max_size=40),
+    threshold=st.floats(1.0, 5e4),
+)
+def test_sql_where_filter_property(amounts, threshold):
+    """SQL WHERE amount > t returns exactly the rows a direct filter returns."""
+    client = MaxComputeClient()
+    client.load_records("t", [{"i": i, "amount": float(a)} for i, a in enumerate(amounts)])
+    result = client.submit_sql(f"SELECT i FROM t WHERE amount > {threshold}")
+    expected = sum(1 for a in amounts if a > threshold)
+    assert result.result_table.num_rows == expected

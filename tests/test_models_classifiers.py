@@ -1,0 +1,183 @@
+"""Tests of Isolation Forest, Logistic Regression and GBDT."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.models.base import DetectionResult, validate_training_inputs
+from repro.models.gbdt import GradientBoostingClassifier
+from repro.models.isolation_forest import IsolationForest, average_path_length
+from repro.models.logistic_regression import LogisticRegression, soft_threshold
+
+
+class TestBaseValidation:
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ModelError):
+            validate_training_inputs(np.ones((3, 2)), np.array([0, 1, 2]))
+
+    def test_rejects_nan_features(self):
+        features = np.ones((3, 2))
+        features[0, 0] = np.nan
+        with pytest.raises(ModelError):
+            validate_training_inputs(features, np.array([0, 1, 0]))
+
+    def test_rejects_empty_and_mismatched(self):
+        with pytest.raises(ModelError):
+            validate_training_inputs(np.zeros((0, 2)), None)
+        with pytest.raises(ModelError):
+            validate_training_inputs(np.ones((3, 2)), np.array([0, 1]))
+
+    def test_detection_result_top_fraction(self):
+        result = DetectionResult(probabilities=np.array([0.1, 0.9, 0.5, 0.7]))
+        top = result.top_fraction(0.5)
+        assert set(top.tolist()) == {1, 3}
+        assert result.predictions.tolist() == [0, 1, 1, 1]
+        with pytest.raises(ModelError):
+            result.top_fraction(0.0)
+
+
+class TestIsolationForest:
+    def test_average_path_length_monotonic(self):
+        values = [average_path_length(n) for n in (2, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_outliers_score_higher(self):
+        rng = np.random.default_rng(0)
+        inliers = rng.normal(0, 1, size=(500, 2))
+        outliers = rng.normal(8, 0.5, size=(10, 2))
+        model = IsolationForest(num_trees=50, seed=1).fit(np.vstack([inliers, outliers]))
+        scores = model.predict_proba(np.vstack([inliers[:50], outliers]))
+        assert scores[50:].mean() > scores[:50].mean()
+
+    def test_scores_in_unit_interval(self, feature_matrices):
+        train, test = feature_matrices
+        model = IsolationForest(num_trees=30, seed=2).fit(train.values)
+        scores = model.predict_proba(test.values)
+        assert np.all((scores > 0.0) & (scores < 1.0))
+
+    def test_unsupervised_ignores_labels(self, feature_matrices):
+        train, test = feature_matrices
+        with_labels = IsolationForest(num_trees=20, seed=3).fit(train.values, train.labels)
+        without = IsolationForest(num_trees=20, seed=3).fit(train.values)
+        assert np.allclose(
+            with_labels.predict_proba(test.values[:20]), without.predict_proba(test.values[:20])
+        )
+
+    def test_invalid_params(self):
+        with pytest.raises(ModelError):
+            IsolationForest(num_trees=0)
+        with pytest.raises(ModelError):
+            IsolationForest(subsample_size=1)
+
+
+class TestLogisticRegression:
+    def test_soft_threshold(self):
+        values = np.array([-3.0, -0.5, 0.5, 3.0])
+        assert soft_threshold(values, 1.0).tolist() == [-2.0, 0.0, 0.0, 2.0]
+
+    def test_learns_linear_boundary(self, small_classification_data):
+        features, labels = small_classification_data
+        model = LogisticRegression(discretize_bins=0, iterations=200, l1=0.01).fit(features, labels)
+        accuracy = (model.predict(features) == labels).mean()
+        assert accuracy > 0.85
+
+    def test_discretization_improves_or_matches_raw_on_fraud(self, feature_matrices):
+        train, test = feature_matrices
+        raw = LogisticRegression(discretize_bins=0, iterations=80).fit(train.values, train.labels)
+        binned = LogisticRegression(discretize_bins=10, iterations=80).fit(train.values, train.labels)
+        # Both must produce valid probabilities; the binned variant is the paper's default.
+        for model in (raw, binned):
+            scores = model.predict_proba(test.values)
+            assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_l1_produces_sparsity(self, small_classification_data):
+        features, labels = small_classification_data
+        dense = LogisticRegression(discretize_bins=20, iterations=120, l1=0.0).fit(features, labels)
+        sparse = LogisticRegression(discretize_bins=20, iterations=120, l1=5.0).fit(features, labels)
+        assert sparse.nonzero_coefficients <= dense.nonzero_coefficients
+
+    def test_loss_decreases(self, small_classification_data):
+        features, labels = small_classification_data
+        model = LogisticRegression(discretize_bins=0, iterations=100).fit(features, labels)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_requires_labels(self, small_classification_data):
+        features, _ = small_classification_data
+        with pytest.raises(ModelError):
+            LogisticRegression().fit(features, None)
+
+
+class TestGBDT:
+    def test_learns_nonlinear_boundary(self, small_classification_data):
+        features, labels = small_classification_data
+        model = GradientBoostingClassifier(num_trees=40, seed=0).fit(features, labels)
+        accuracy = (model.predict(features) == labels).mean()
+        assert accuracy > 0.9
+
+    def test_training_loss_decreases(self, small_classification_data):
+        features, labels = small_classification_data
+        model = GradientBoostingClassifier(num_trees=30, seed=1).fit(features, labels)
+        assert model.train_loss_[-1] < model.train_loss_[0]
+
+    def test_squared_objective_supported(self, small_classification_data):
+        features, labels = small_classification_data
+        model = GradientBoostingClassifier(num_trees=30, objective="squared", seed=2).fit(
+            features, labels
+        )
+        scores = model.predict_proba(features)
+        assert np.all((scores >= 0) & (scores <= 1))
+        assert (model.predict(features) == labels).mean() > 0.85
+
+    def test_staged_predictions_match_final(self, small_classification_data):
+        features, labels = small_classification_data
+        model = GradientBoostingClassifier(num_trees=25, seed=3).fit(features, labels)
+        staged = dict(model.staged_predict_proba(features, every=5))
+        assert np.allclose(staged[25], model.predict_proba(features))
+        assert set(staged) == {5, 10, 15, 20, 25}
+
+    def test_feature_importances_sum_to_one(self, small_classification_data):
+        features, labels = small_classification_data
+        model = GradientBoostingClassifier(num_trees=20, seed=4).fit(features, labels)
+        importances = model.feature_importances(features.shape[1])
+        assert importances.shape == (features.shape[1],)
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_outperforms_single_tree_on_fraud_data(self, feature_matrices):
+        train, test = feature_matrices
+        from repro.core.evaluation import evaluate_scores
+
+        gbdt = GradientBoostingClassifier(num_trees=40, seed=5).fit(train.values, train.labels)
+        shallow = GradientBoostingClassifier(num_trees=1, seed=5).fit(train.values, train.labels)
+        f1_gbdt = evaluate_scores(test.labels, gbdt.predict_proba(test.values)).f1
+        f1_single = evaluate_scores(test.labels, shallow.predict_proba(test.values)).f1
+        assert f1_gbdt >= f1_single
+
+    def test_invalid_params(self):
+        with pytest.raises(ModelError):
+            GradientBoostingClassifier(num_trees=0)
+        with pytest.raises(ModelError):
+            GradientBoostingClassifier(subsample_rows=0.0)
+        with pytest.raises(ModelError):
+            GradientBoostingClassifier(objective="absolute")  # type: ignore[arg-type]
+
+    def test_predict_before_fit(self):
+        with pytest.raises(NotFittedError):
+            GradientBoostingClassifier().predict_proba(np.ones((2, 3)))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 10_000))
+def test_gbdt_probabilities_bounded_property(seed):
+    """GBDT probabilities stay in [0, 1] for arbitrary random data."""
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(80, 4))
+    labels = (rng.random(80) < 0.3).astype(float)
+    if labels.sum() in (0, len(labels)):
+        labels[0] = 1.0 - labels[0]
+    model = GradientBoostingClassifier(num_trees=5, seed=seed).fit(features, labels)
+    scores = model.predict_proba(rng.normal(size=(20, 4)))
+    assert np.all((scores >= 0.0) & (scores <= 1.0))

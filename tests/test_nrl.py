@@ -1,0 +1,222 @@
+"""Tests of the network representation learning layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EmbeddingError
+from repro.graph.network import TransactionNetwork
+from repro.graph.random_walk import RandomWalkConfig
+from repro.nrl.deepwalk import DeepWalk, DeepWalkConfig
+from repro.nrl.embeddings import EmbeddingSet
+from repro.nrl.structure2vec import (
+    Structure2Vec,
+    Structure2VecConfig,
+    node_labels_from_transactions,
+    node_structural_features,
+)
+from repro.nrl.word2vec import (
+    SkipGramConfig,
+    SkipGramTrainer,
+    build_negative_table,
+    build_vocabulary,
+    generate_skipgram_pairs,
+    sgns_batch_update,
+    sgns_sparse_gradients,
+)
+
+
+def _two_cluster_network() -> TransactionNetwork:
+    """Two dense clusters connected by one bridge edge."""
+    network = TransactionNetwork()
+    cluster_a = [f"a{i}" for i in range(8)]
+    cluster_b = [f"b{i}" for i in range(8)]
+    for cluster in (cluster_a, cluster_b):
+        for i, source in enumerate(cluster):
+            for target in cluster[i + 1 :]:
+                network.add_edge(source, target)
+    network.add_edge("a0", "b0")
+    return network
+
+
+class TestEmbeddingSet:
+    def test_lookup_and_default(self):
+        embeddings = EmbeddingSet(["u1", "u2"], np.array([[1.0, 0.0], [0.0, 1.0]]))
+        assert embeddings["u1"].tolist() == [1.0, 0.0]
+        assert embeddings.get("unknown").tolist() == [0.0, 0.0]
+        matrix = embeddings.lookup(["u2", "unknown"])
+        assert matrix.shape == (2, 2)
+        assert matrix[1].tolist() == [0.0, 0.0]
+
+    def test_duplicate_or_mismatched_rejected(self):
+        with pytest.raises(EmbeddingError):
+            EmbeddingSet(["u1", "u1"], np.zeros((2, 2)))
+        with pytest.raises(EmbeddingError):
+            EmbeddingSet(["u1"], np.zeros((2, 2)))
+
+    def test_concatenate_unions_nodes(self):
+        left = EmbeddingSet(["a", "b"], np.ones((2, 2)), name="dw")
+        right = EmbeddingSet(["b", "c"], 2 * np.ones((2, 3)), name="s2v")
+        combined = left.concatenate(right)
+        assert combined.dimension == 5
+        assert set(combined.node_ids()) == {"a", "b", "c"}
+        assert combined["a"].tolist() == [1.0, 1.0, 0.0, 0.0, 0.0]
+
+    def test_most_similar_excludes_self(self):
+        embeddings = EmbeddingSet(
+            ["a", "b", "c"], np.array([[1.0, 0.0], [0.9, 0.1], [0.0, 1.0]])
+        )
+        neighbors = embeddings.most_similar("a", top_k=2)
+        assert neighbors[0][0] == "b"
+        assert all(name != "a" for name, _ in neighbors)
+
+    def test_save_and_load_round_trip(self, tmp_path):
+        embeddings = EmbeddingSet(["a", "b"], np.random.default_rng(0).normal(size=(2, 4)))
+        embeddings.save(tmp_path / "emb")
+        restored = EmbeddingSet.load(tmp_path / "emb")
+        assert restored.node_ids() == embeddings.node_ids()
+        assert np.allclose(restored.matrix, embeddings.matrix)
+
+    def test_normalized_rows_unit_length(self):
+        embeddings = EmbeddingSet(["a", "b"], np.array([[3.0, 4.0], [0.0, 0.0]]))
+        normalized = embeddings.normalized()
+        assert np.linalg.norm(normalized["a"]) == pytest.approx(1.0)
+        assert np.linalg.norm(normalized["b"]) == pytest.approx(0.0)
+
+
+class TestWord2Vec:
+    def test_vocabulary_and_pairs(self):
+        corpus = [["a", "b", "c"], ["b", "c", "d"]]
+        vocabulary = build_vocabulary(corpus)
+        assert len(vocabulary) == 4
+        encoded = [vocabulary.encode(sentence) for sentence in corpus]
+        centers, contexts = generate_skipgram_pairs(encoded, window=1)
+        assert centers.shape == contexts.shape
+        assert centers.shape[0] == 8  # 2 sentences x 2 adjacent pairs x 2 directions
+
+    def test_negative_table_prefers_frequent_tokens(self):
+        counts = np.array([100.0, 1.0])
+        table = build_negative_table(counts, table_size=1000)
+        assert (table == 0).mean() > 0.7
+
+    def test_batch_update_reduces_loss(self):
+        rng = np.random.default_rng(0)
+        w_in = rng.normal(scale=0.1, size=(20, 8))
+        w_out = np.zeros((20, 8))
+        centers = rng.integers(0, 10, size=256)
+        contexts = centers  # perfectly correlated pairs
+        negatives = rng.integers(10, 20, size=(256, 3))
+        first = sgns_batch_update(w_in, w_out, centers, contexts, negatives, 0.1)
+        for _ in range(30):
+            last = sgns_batch_update(w_in, w_out, centers, contexts, negatives, 0.1)
+        assert last < first
+
+    def test_sparse_gradients_match_dense_update(self):
+        rng = np.random.default_rng(1)
+        w_in = rng.normal(scale=0.1, size=(10, 4))
+        w_out = rng.normal(scale=0.1, size=(10, 4))
+        centers = np.array([0, 1, 2])
+        contexts = np.array([3, 4, 5])
+        negatives = np.array([[6, 7], [8, 9], [6, 9]])
+        dense_in, dense_out = w_in.copy(), w_out.copy()
+        sgns_batch_update(dense_in, dense_out, centers, contexts, negatives, 0.5)
+        grads_in, grads_out, _ = sgns_sparse_gradients(w_in, w_out, centers, contexts, negatives)
+        sparse_in, sparse_out = w_in.copy(), w_out.copy()
+        for row, grad in grads_in.items():
+            sparse_in[row] -= 0.5 * grad
+        for row, grad in grads_out.items():
+            sparse_out[row] -= 0.5 * grad
+        assert np.allclose(sparse_in, dense_in)
+        assert np.allclose(sparse_out, dense_out)
+
+    def test_trainer_produces_embeddings_for_all_tokens(self):
+        corpus = [[f"n{i}", f"n{i+1}", f"n{i+2}"] for i in range(10)]
+        trainer = SkipGramTrainer(SkipGramConfig(dimension=6, epochs=1, window=2, seed=0))
+        embeddings = trainer.fit(corpus)
+        assert embeddings.dimension == 6
+        assert len(embeddings) == 12
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(EmbeddingError):
+            build_vocabulary([])
+
+
+class TestDeepWalk:
+    def test_cluster_structure_is_captured(self):
+        network = _two_cluster_network()
+        model = DeepWalk(
+            DeepWalkConfig(
+                walk=RandomWalkConfig(walk_length=10, num_walks_per_node=20),
+                skipgram=SkipGramConfig(dimension=8, window=3, epochs=3),
+                seed=0,
+            )
+        ).fit(network)
+        embeddings = model.embeddings()
+        same = embeddings.cosine_similarity("a1", "a2")
+        across = embeddings.cosine_similarity("a1", "b5")
+        assert same > across
+
+    def test_every_node_has_a_vector(self, network):
+        model = DeepWalk(DeepWalkConfig.fast(dimension=8, seed=1)).fit(network)
+        embeddings = model.embeddings()
+        assert len(embeddings) == network.num_nodes
+        assert embeddings.dimension == 8
+
+    def test_unfitted_access_raises(self):
+        with pytest.raises(EmbeddingError):
+            DeepWalk().embeddings()
+
+    def test_empty_network_rejected(self):
+        with pytest.raises(EmbeddingError):
+            DeepWalk().fit(TransactionNetwork())
+
+
+class TestStructure2Vec:
+    def test_structural_features_shape(self, network):
+        nodes, features = node_structural_features(network)
+        assert len(nodes) == network.num_nodes
+        assert features.shape == (network.num_nodes, 6)
+        assert np.isfinite(features).all()
+
+    def test_node_labels_from_transactions(self, dataset):
+        labels = node_labels_from_transactions(dataset.network_transactions)
+        assert set(labels.values()) <= {0, 1}
+        fraud_payees = {t.payee_id for t in dataset.network_transactions if t.is_fraud}
+        assert all(labels[p] == 1 for p in fraud_payees)
+
+    def test_supervised_embeddings_separate_fraud_nodes(self, dataset, network):
+        labels = node_labels_from_transactions(dataset.network_transactions)
+        model = Structure2Vec(Structure2VecConfig(dimension=8, epochs=40, seed=0)).fit(
+            network, node_labels=labels
+        )
+        embeddings = model.embeddings()
+        positives = [n for n in embeddings.node_ids() if labels.get(n) == 1]
+        negatives = [n for n in embeddings.node_ids() if labels.get(n) == 0]
+        if positives and negatives:
+            pos_norm = np.linalg.norm(embeddings.lookup(positives), axis=1).mean()
+            neg_norm = np.linalg.norm(embeddings.lookup(negatives), axis=1).mean()
+            assert pos_norm != pytest.approx(neg_norm, rel=1e-6)
+
+    def test_requires_labels(self, network):
+        with pytest.raises(EmbeddingError):
+            Structure2Vec().fit(network)
+
+    def test_loss_decreases(self, dataset, network):
+        labels = node_labels_from_transactions(dataset.network_transactions)
+        model = Structure2Vec(Structure2VecConfig(dimension=8, epochs=30, seed=1)).fit(
+            network, node_labels=labels
+        )
+        assert model.loss_history[-1] < model.loss_history[0]
+
+
+@settings(max_examples=10, deadline=None)
+@given(dimension=st.integers(2, 16))
+def test_embedding_lookup_dimension_property(dimension):
+    """lookup always returns (n, dimension) with zeros for unknown nodes."""
+    embeddings = EmbeddingSet(["a"], np.ones((1, dimension)))
+    matrix = embeddings.lookup(["a", "b", "c"])
+    assert matrix.shape == (3, dimension)
+    assert np.allclose(matrix[1:], 0.0)
