@@ -52,22 +52,26 @@ def main() -> None:
     runner.pipeline.register_model(registry, bundle)
     print(f"   registered model: {registry.latest().describe()}")
 
-    print("2. Publishing features/embeddings to Ali-HBase and loading the Model Server ...")
+    print("2. Publishing features/embeddings to Ali-HBase and loading the MS fleet ...")
     hbase = HBaseClient(num_regions=4)
-    model_server = ModelServer(hbase, ModelServerConfig(sla_budget_ms=50.0))
-    runner.pipeline.deploy(bundle, preparation, hbase, model_server)
+    fleet = [ModelServer(hbase, ModelServerConfig(sla_budget_ms=50.0)) for _ in range(2)]
+    runner.pipeline.deploy_fleet(bundle, preparation, hbase, fleet)
+    print(f"   exported feature plan  : {len(bundle.plan.feature_names)} features, "
+          f"blocks {bundle.plan.embedding_specs}, side {bundle.plan.embedding_side!r}")
     print(f"   HBase rows written through the WAL: {hbase.wal_size()}")
     print(f"   region load report: {hbase.region_load_report()}")
 
-    print("3. Online: replaying the test day through the Alipay server ...")
-    alipay = AlipayServer(model_server)
-    report = alipay.replay_transactions(dataset.test_transactions)
-    latency = model_server.latency.report()
+    print("3. Online: replaying the test day in micro-batches through the fleet ...")
+    alipay = AlipayServer(fleet)
+    report = alipay.replay_transactions(dataset.test_transactions, batch_size=256)
+    latency = alipay.latency_report()
     print(f"   transactions processed : {report.total}")
     print(f"   interrupted (alerts)   : {report.interrupted}")
     print(f"   alert precision        : {report.alert_precision:.2%}")
     print(f"   alert recall           : {report.alert_recall:.2%}")
-    print(f"   mean / p99 latency     : {latency.mean_ms:.2f} ms / {latency.p99_ms:.2f} ms")
+    print(f"   mean / p99 latency     : {latency['mean_ms']:.3f} ms / {latency['p99_ms']:.3f} ms "
+          "(amortised per request)")
+    print(f"   HBase row-cache stats  : {hbase.row_cache_stats()}")
     if alipay.notifications:
         print("   example notification   :", alipay.notifications[0])
 

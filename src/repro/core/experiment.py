@@ -32,8 +32,11 @@ from repro.core.pipeline import OfflineTrainingPipeline, SlicePreparation, build
 from repro.datagen.datasets import RollingDatasets
 from repro.datagen.transactions import TransactionWorld
 from repro.exceptions import ConfigurationError
+from repro.hbase.client import HBaseClient
 from repro.logging_utils import get_logger
 from repro.models.gbdt import GradientBoostingClassifier
+from repro.serving.alipay import AlipayServer
+from repro.serving.model_server import ModelServer, ModelServerConfig
 
 logger = get_logger("core.experiment")
 
@@ -160,6 +163,33 @@ class ExperimentRunner:
         test_matrix = self.pipeline.evaluate(preparation, bundle)
         scores = bundle.detector.predict_proba(test_matrix.values)
         return evaluate_scores(test_matrix.labels, scores, threshold=None)
+
+    # ------------------------------------------------------------------
+    # Online serving stack (used by the latency benchmark and examples)
+    # ------------------------------------------------------------------
+    def build_serving_stack(
+        self,
+        preparation: SlicePreparation,
+        configuration: Table1Configuration,
+        *,
+        num_servers: int = 1,
+        sla_budget_ms: float = 50.0,
+    ):
+        """Train one configuration and deploy it to a fresh online stack.
+
+        Returns ``(bundle, hbase, servers, alipay)``: the trained bundle, the
+        Ali-HBase store populated with per-user features and embeddings, the
+        Model Server fleet with the model + exported FeaturePlan hot-loaded,
+        and an Alipay front end balancing across the fleet.
+        """
+        bundle = self.pipeline.train(preparation, configuration)
+        hbase = HBaseClient()
+        servers = [
+            ModelServer(hbase, ModelServerConfig(sla_budget_ms=sla_budget_ms))
+            for _ in range(num_servers)
+        ]
+        self.pipeline.deploy_fleet(bundle, preparation, hbase, servers)
+        return bundle, hbase, servers, AlipayServer(servers)
 
     # ------------------------------------------------------------------
     # Figure 9: rec@top 1 % per detection method

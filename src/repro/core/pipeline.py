@@ -39,6 +39,7 @@ from repro.exceptions import ConfigurationError
 from repro.features.assembler import EmbeddingSide, FeatureAssembler
 from repro.features.basic import BasicFeatureExtractor
 from repro.features.matrix import FeatureMatrix
+from repro.features.plan import FeaturePlan
 from repro.graph.builder import build_network
 from repro.graph.network import TransactionNetwork
 from repro.hbase.client import BASIC_FEATURES_FAMILY, EMBEDDINGS_FAMILY, HBaseClient
@@ -117,12 +118,20 @@ class SlicePreparation:
 
 @dataclass
 class TrainedModelBundle:
-    """Everything the online side needs about one trained model."""
+    """Everything the online side needs about one trained model.
+
+    ``plan`` is the serialisable :class:`FeaturePlan` the trainer exports
+    alongside the model file — the Model Server executes it verbatim, so the
+    online feature vector cannot drift from the training one.  The
+    ``embedding_specs`` / ``embedding_side`` fields are the legacy view of
+    the same information, kept for audit metadata.
+    """
 
     configuration: Table1Configuration
     detector: BaseDetector
     threshold: float
     feature_names: List[str]
+    plan: FeaturePlan
     embedding_specs: List[tuple]
     embedding_side: str
     training_day: int
@@ -255,19 +264,15 @@ class OfflineTrainingPipeline:
         detector.fit(train_matrix.values, train_matrix.labels)
         train_scores = detector.predict_proba(train_matrix.values)
         threshold = select_threshold(train_matrix.labels, train_scores)
-        embedding_specs = [
-            (name, embeddings.dimension)
-            for name, embeddings in preparation.embedding_sets_for(
-                configuration.feature_set
-            ).items()
-        ]
+        plan = assembler.plan
         return TrainedModelBundle(
             configuration=configuration,
             detector=detector,
             threshold=threshold,
             feature_names=train_matrix.feature_names,
-            embedding_specs=embedding_specs,
-            embedding_side=self.embedding_side,
+            plan=plan,
+            embedding_specs=plan.embedding_specs,
+            embedding_side=plan.embedding_side,
             training_day=preparation.dataset.spec.test_day,
             train_rows=train_matrix.num_rows,
             train_frauds=int(train_matrix.labels.sum()) if train_matrix.labels is not None else 0,
@@ -287,6 +292,7 @@ class OfflineTrainingPipeline:
             model=bundle.detector,
             threshold=bundle.threshold,
             feature_names=bundle.feature_names,
+            plan=bundle.plan,
             embedding_specs=bundle.embedding_specs,
             embedding_side=bundle.embedding_side,
             training_day=bundle.training_day,
@@ -325,13 +331,14 @@ class OfflineTrainingPipeline:
             }
         written = hbase.bulk_load(table_name, BASIC_FEATURES_FAMILY, profile_rows, version=version)
 
-        embedding_rows: Dict[str, Dict[str, float]] = {}
+        # One array-valued cell per embedding set (instead of one scalar cell
+        # per dimension): a block read online is a single cell fetch.  Stored
+        # as tuples so readers sharing the cell object cannot corrupt it.
+        embedding_rows: Dict[str, Dict[str, object]] = {}
         for set_name, embeddings in preparation.embeddings.items():
             for node in embeddings.node_ids():
                 row = embedding_rows.setdefault(node, {})
-                vector = embeddings[node]
-                for dim, value in enumerate(vector):
-                    row[f"{set_name}_{dim}"] = float(value)
+                row[set_name] = tuple(float(value) for value in embeddings[node])
         if embedding_rows:
             written += hbase.bulk_load(
                 table_name, EMBEDDINGS_FAMILY, embedding_rows, version=version
@@ -348,13 +355,25 @@ class OfflineTrainingPipeline:
         *,
         table_name: str = "titant_features",
     ) -> None:
-        """Publish features and hot-load the model into a Model Server."""
+        """Publish features and hot-load the model + plan into a Model Server."""
+        self.deploy_fleet(bundle, preparation, hbase, [model_server], table_name=table_name)
+
+    def deploy_fleet(
+        self,
+        bundle: TrainedModelBundle,
+        preparation: SlicePreparation,
+        hbase: HBaseClient,
+        model_servers: List[ModelServer],
+        *,
+        table_name: str = "titant_features",
+    ) -> None:
+        """Publish features once and hot-load the model into a whole MS fleet."""
         self.publish_features(preparation, hbase, table_name=table_name)
-        model_server.config.feature_table = table_name
-        model_server.load_model(
-            bundle.detector,
-            version=bundle.version,
-            threshold=bundle.threshold,
-            embedding_specs=bundle.embedding_specs,
-            embedding_side=bundle.embedding_side,
-        )
+        for model_server in model_servers:
+            model_server.feature_table = table_name
+            model_server.load_model(
+                bundle.detector,
+                version=bundle.version,
+                threshold=bundle.threshold,
+                plan=bundle.plan,
+            )

@@ -13,17 +13,23 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.exceptions import ModelError, ServingError
+from repro.features.plan import FeaturePlan
 from repro.models.base import BaseDetector
 
 
 @dataclass
 class ModelVersion:
-    """Metadata of one registered model."""
+    """Metadata of one registered model.
+
+    ``plan`` is the feature spec the trainer exported with the model; loading
+    a version into a Model Server means installing both together.
+    """
 
     version: str
     model: BaseDetector
     threshold: float
     feature_names: List[str]
+    plan: Optional[FeaturePlan] = None
     embedding_specs: List[tuple] = field(default_factory=list)
     embedding_side: str = "both"
     training_day: Optional[int] = None

@@ -24,9 +24,21 @@ from repro.features.discretization import (
     Discretizer,
 )
 from repro.features.aggregation import TransactionAggregator, AggregationConfig
+from repro.features.plan import (
+    EmbeddingBlockSpec,
+    FeaturePlan,
+    FeaturePlanExecutor,
+    FeatureSource,
+    InMemoryFeatureSource,
+)
 from repro.features.assembler import FeatureAssembler, EmbeddingSide
 
 __all__ = [
+    "EmbeddingBlockSpec",
+    "FeaturePlan",
+    "FeaturePlanExecutor",
+    "FeatureSource",
+    "InMemoryFeatureSource",
     "FeatureMatrix",
     "BasicFeatureExtractor",
     "BASIC_FEATURE_NAMES",

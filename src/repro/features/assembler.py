@@ -6,6 +6,12 @@ learned from the transaction network.  For a transaction the embeddings of
 both endpoints matter — the payer (potential victim) and the payee (potential
 fraudster, the node the "gathering" structure concentrates on) — so the
 assembler supports attaching either side or both.
+
+The assembler is a thin offline-facing wrapper around the shared
+:class:`~repro.features.plan.FeaturePlanExecutor`: it derives the
+:class:`~repro.features.plan.FeaturePlan` from the trained embedding sets and
+executes it against an in-memory source.  The online Model Server executes
+the *same* plan against Ali-HBase, so the two paths cannot drift.
 """
 
 from __future__ import annotations
@@ -16,9 +22,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.datagen.schema import Transaction, UserProfile
-from repro.exceptions import FeatureError
-from repro.features.basic import BasicFeatureExtractor
 from repro.features.matrix import FeatureMatrix
+from repro.features.plan import (
+    FeaturePlan,
+    FeaturePlanExecutor,
+    InMemoryFeatureSource,
+)
 from repro.nrl.embeddings import EmbeddingSet
 
 
@@ -54,29 +63,23 @@ class FeatureAssembler:
         *,
         embedding_side: EmbeddingSide = EmbeddingSide.BOTH,
     ) -> None:
-        self._extractor = BasicFeatureExtractor(profiles)
-        self._embedding_sets = dict(embedding_sets or {})
         self._side = EmbeddingSide(embedding_side)
+        self._plan = FeaturePlan.from_embedding_sets(
+            embedding_sets or {}, embedding_side=self._side.value
+        )
+        self._executor = FeaturePlanExecutor(
+            self._plan, InMemoryFeatureSource(profiles, embedding_sets)
+        )
 
     # ------------------------------------------------------------------
     @property
-    def feature_names(self) -> List[str]:
-        names = list(self._extractor.feature_names)
-        for set_name, embeddings in self._embedding_sets.items():
-            names.extend(self._embedding_feature_names(set_name, embeddings))
-        return names
+    def plan(self) -> FeaturePlan:
+        """The serialisable feature spec exported alongside trained models."""
+        return self._plan
 
-    def _embedding_feature_names(self, set_name: str, embeddings: EmbeddingSet) -> List[str]:
-        sides: List[str]
-        if self._side is EmbeddingSide.BOTH:
-            sides = ["payer", "payee"]
-        else:
-            sides = [self._side.value]
-        return [
-            f"{set_name}_{side}_{dim}"
-            for side in sides
-            for dim in range(embeddings.dimension)
-        ]
+    @property
+    def feature_names(self) -> List[str]:
+        return self._plan.feature_names
 
     # ------------------------------------------------------------------
     def assemble(
@@ -86,35 +89,8 @@ class FeatureAssembler:
         with_labels: bool = True,
     ) -> FeatureMatrix:
         """Basic features concatenated with the configured embeddings."""
-        matrix = self._extractor.extract(transactions, with_labels=with_labels)
-        for set_name, embeddings in self._embedding_sets.items():
-            block = self._embedding_block(set_name, embeddings, transactions)
-            matrix = matrix.hstack(block)
-        return matrix
+        return self._executor.assemble(transactions, with_labels=with_labels)
 
     def assemble_single(self, transaction: Transaction) -> np.ndarray:
         """Feature vector for one transaction (the online scoring path)."""
-        matrix = self.assemble([transaction], with_labels=False)
-        return matrix.values[0]
-
-    # ------------------------------------------------------------------
-    def _embedding_block(
-        self,
-        set_name: str,
-        embeddings: EmbeddingSet,
-        transactions: Sequence[Transaction],
-    ) -> FeatureMatrix:
-        payers = [t.payer_id for t in transactions]
-        payees = [t.payee_id for t in transactions]
-        if self._side is EmbeddingSide.PAYER:
-            values = embeddings.lookup(payers)
-        elif self._side is EmbeddingSide.PAYEE:
-            values = embeddings.lookup(payees)
-        elif self._side is EmbeddingSide.BOTH:
-            values = np.hstack([embeddings.lookup(payers), embeddings.lookup(payees)])
-        else:  # pragma: no cover - defensive
-            raise FeatureError(f"unknown embedding side {self._side}")
-        return FeatureMatrix(
-            feature_names=self._embedding_feature_names(set_name, embeddings),
-            values=values,
-        )
+        return self._executor.assemble_single(transaction)

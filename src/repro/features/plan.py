@@ -1,0 +1,288 @@
+"""The FeaturePlan: one declarative feature spec, one executor, two worlds.
+
+The paper's operational core is that the *same* feature vector — 52 basic
+features followed by the configured node-embedding blocks — is computed
+offline on MaxCompute for training and online in the Model Server under a
+tens-of-milliseconds SLA.  Any drift between the two implementations is
+training/serving skew and silently destroys model quality.
+
+A :class:`FeaturePlan` is a serialisable, immutable description of that
+vector: the ordered basic-feature block plus the ordered embedding blocks
+(set name, dimension) and which transaction endpoint(s) each block attaches
+to.  The trainer exports the plan alongside the model file; the Model Server
+loads both.  A single :class:`FeaturePlanExecutor` turns a plan plus a
+:class:`FeatureSource` (in-memory for the offline pipeline, HBase-backed for
+the online path) into design matrices, so there is exactly one assembly
+implementation to keep correct.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.schema import Transaction, UserProfile
+from repro.exceptions import FeatureError
+from repro.features.basic import BASIC_FEATURE_NAMES, BasicFeatureExtractor
+from repro.features.matrix import FeatureMatrix
+from repro.nrl.embeddings import EmbeddingSet
+
+#: Valid values of :attr:`FeaturePlan.embedding_side`.
+EMBEDDING_SIDES = ("payer", "payee", "both")
+
+
+@dataclass(frozen=True)
+class EmbeddingBlockSpec:
+    """One embedding block of the final vector: a named set and its width."""
+
+    set_name: str
+    dimension: int
+
+    def __post_init__(self) -> None:
+        if not self.set_name:
+            raise FeatureError("embedding block needs a non-empty set name")
+        if self.dimension < 1:
+            raise FeatureError(
+                f"embedding block {self.set_name!r} needs a positive dimension"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"set_name": self.set_name, "dimension": int(self.dimension)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "EmbeddingBlockSpec":
+        return cls(set_name=str(data["set_name"]), dimension=int(data["dimension"]))
+
+
+@dataclass(frozen=True)
+class FeaturePlan:
+    """Ordered, immutable spec of the full feature vector.
+
+    The column layout is the basic-feature block followed by, for every
+    embedding block in order, one sub-block per side (payer before payee when
+    ``embedding_side`` is ``"both"``).
+    """
+
+    embedding_blocks: Tuple[EmbeddingBlockSpec, ...] = ()
+    embedding_side: str = "both"
+    basic_feature_names: Tuple[str, ...] = field(
+        default_factory=lambda: tuple(BASIC_FEATURE_NAMES)
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "embedding_blocks", tuple(self.embedding_blocks))
+        object.__setattr__(
+            self, "basic_feature_names", tuple(self.basic_feature_names)
+        )
+        if self.embedding_side not in EMBEDDING_SIDES:
+            raise FeatureError(
+                f"embedding_side must be one of {EMBEDDING_SIDES}, "
+                f"got {self.embedding_side!r}"
+            )
+        names = [block.set_name for block in self.embedding_blocks]
+        if len(set(names)) != len(names):
+            raise FeatureError(f"duplicate embedding set names in plan: {names}")
+
+    # ------------------------------------------------------------------
+    @property
+    def sides(self) -> Tuple[str, ...]:
+        """The transaction endpoints each embedding block attaches to."""
+        if self.embedding_side == "both":
+            return ("payer", "payee")
+        return (self.embedding_side,)
+
+    @property
+    def feature_names(self) -> List[str]:
+        names = list(self.basic_feature_names)
+        for block in self.embedding_blocks:
+            for side in self.sides:
+                names.extend(
+                    f"{block.set_name}_{side}_{dim}" for dim in range(block.dimension)
+                )
+        return names
+
+    @property
+    def num_features(self) -> int:
+        per_block = sum(block.dimension for block in self.embedding_blocks)
+        return len(self.basic_feature_names) + per_block * len(self.sides)
+
+    @property
+    def embedding_specs(self) -> List[Tuple[str, int]]:
+        """(set name, dimension) pairs — the legacy wire format."""
+        return [(block.set_name, block.dimension) for block in self.embedding_blocks]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_embedding_sets(
+        cls,
+        embedding_sets: Mapping[str, EmbeddingSet],
+        *,
+        embedding_side: str = "both",
+    ) -> "FeaturePlan":
+        """Plan matching an ordered mapping of trained embedding sets."""
+        blocks = tuple(
+            EmbeddingBlockSpec(set_name=name, dimension=embeddings.dimension)
+            for name, embeddings in embedding_sets.items()
+        )
+        return cls(embedding_blocks=blocks, embedding_side=embedding_side)
+
+    @classmethod
+    def from_specs(
+        cls,
+        embedding_specs: Sequence[Sequence[object]],
+        *,
+        embedding_side: str = "both",
+    ) -> "FeaturePlan":
+        """Plan from legacy ``(set name, dimension)`` pairs."""
+        blocks = tuple(
+            EmbeddingBlockSpec(set_name=str(name), dimension=int(dimension))
+            for name, dimension in embedding_specs
+        )
+        return cls(embedding_blocks=blocks, embedding_side=embedding_side)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "embedding_blocks": [block.to_dict() for block in self.embedding_blocks],
+            "embedding_side": self.embedding_side,
+            "basic_feature_names": list(self.basic_feature_names),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FeaturePlan":
+        blocks = tuple(
+            EmbeddingBlockSpec.from_dict(item)
+            for item in data.get("embedding_blocks", [])
+        )
+        return cls(
+            embedding_blocks=blocks,
+            embedding_side=str(data.get("embedding_side", "both")),
+            basic_feature_names=tuple(
+                data.get("basic_feature_names", BASIC_FEATURE_NAMES)
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "FeaturePlan":
+        return cls.from_dict(json.loads(payload))
+
+
+# ---------------------------------------------------------------------------
+# Feature sources: where the executor reads per-user data from
+# ---------------------------------------------------------------------------
+
+
+class FeatureSource(abc.ABC):
+    """Supplies per-user profiles and embedding vectors to the executor.
+
+    Implementations exist for the offline world (in-memory profiles and
+    :class:`EmbeddingSet` objects) and the online world (Ali-HBase rows);
+    the executor is agnostic to which one it is running against.
+    """
+
+    @abc.abstractmethod
+    def profiles_for(self, user_ids: Sequence[str]) -> Dict[str, UserProfile]:
+        """Profiles for ``user_ids``; callers tolerate missing entries."""
+
+    @abc.abstractmethod
+    def embedding_matrix(
+        self, block: EmbeddingBlockSpec, user_ids: Sequence[str]
+    ) -> np.ndarray:
+        """(len(user_ids), block.dimension) matrix; unknown users are zeros."""
+
+
+class InMemoryFeatureSource(FeatureSource):
+    """Offline source: the profile dict and trained embedding sets."""
+
+    def __init__(
+        self,
+        profiles: Mapping[str, UserProfile],
+        embedding_sets: Optional[Mapping[str, EmbeddingSet]] = None,
+    ) -> None:
+        self._profiles = profiles
+        self._embedding_sets = dict(embedding_sets or {})
+
+    def profiles_for(self, user_ids: Sequence[str]) -> Dict[str, UserProfile]:
+        return {
+            user_id: self._profiles[user_id]
+            for user_id in user_ids
+            if user_id in self._profiles
+        }
+
+    def embedding_matrix(
+        self, block: EmbeddingBlockSpec, user_ids: Sequence[str]
+    ) -> np.ndarray:
+        embeddings = self._embedding_sets.get(block.set_name)
+        if embeddings is None:
+            raise FeatureError(
+                f"plan references embedding set {block.set_name!r} "
+                f"but only {sorted(self._embedding_sets)} are available"
+            )
+        if embeddings.dimension != block.dimension:
+            raise FeatureError(
+                f"embedding set {block.set_name!r} has dimension "
+                f"{embeddings.dimension}, plan expects {block.dimension}"
+            )
+        return embeddings.lookup(list(user_ids))
+
+
+# ---------------------------------------------------------------------------
+# The single executor shared by offline training and online serving
+# ---------------------------------------------------------------------------
+
+
+class FeaturePlanExecutor:
+    """Executes a :class:`FeaturePlan` against a :class:`FeatureSource`."""
+
+    def __init__(self, plan: FeaturePlan, source: FeatureSource) -> None:
+        self.plan = plan
+        self.source = source
+
+    # ------------------------------------------------------------------
+    @property
+    def feature_names(self) -> List[str]:
+        return self.plan.feature_names
+
+    def assemble(
+        self,
+        transactions: Sequence[Transaction],
+        *,
+        with_labels: bool = True,
+    ) -> FeatureMatrix:
+        """One design matrix for a batch: basic block ⊕ embedding blocks."""
+        transactions = list(transactions)
+        payers = [t.payer_id for t in transactions]
+        payees = [t.payee_id for t in transactions]
+        profiles = self.source.profiles_for(list(dict.fromkeys(payers + payees)))
+        extractor = BasicFeatureExtractor(profiles)
+        basic = extractor.extract(transactions, with_labels=with_labels)
+        if not self.plan.embedding_blocks:
+            return FeatureMatrix(
+                feature_names=self.plan.feature_names,
+                values=basic.values,
+                row_ids=basic.row_ids,
+                labels=basic.labels,
+            )
+        blocks: List[np.ndarray] = [basic.values]
+        for block in self.plan.embedding_blocks:
+            for side in self.plan.sides:
+                user_ids = payers if side == "payer" else payees
+                blocks.append(self.source.embedding_matrix(block, user_ids))
+        return FeatureMatrix(
+            feature_names=self.plan.feature_names,
+            values=np.hstack(blocks) if transactions else
+            np.zeros((0, self.plan.num_features)),
+            row_ids=basic.row_ids,
+            labels=basic.labels,
+        )
+
+    def assemble_single(self, transaction: Transaction) -> np.ndarray:
+        """Feature vector for one transaction (the scalar serving path)."""
+        return self.assemble([transaction], with_labels=False).values[0]

@@ -1,0 +1,111 @@
+"""TTL row cache in front of the column-family store.
+
+The online hot path reads the same per-user rows over and over (active users
+transact repeatedly within minutes, and the payee side of fraud "gathering"
+patterns concentrates on few accounts), while the underlying rows only change
+once per day when the offline pipeline bulk-loads a new version.  A small
+time-bounded cache therefore absorbs most point reads.  Writes through the
+client invalidate the affected row eagerly, so a cache hit can never serve a
+value older than the last local write.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+#: (column family, version) — the per-row cache sub-key.
+_SubKey = Tuple[str, Optional[int]]
+#: (table, row key) — the invalidation unit.
+_RowKey = Tuple[str, str]
+
+
+def _copy_row(row: Dict[str, Any]) -> Dict[str, Any]:
+    """Copy a row deeply enough that callers cannot mutate cached state.
+
+    Cell values are scalars or array-valued embedding cells (lists/tuples of
+    floats); mutable list values get their own copy."""
+    return {
+        qualifier: list(value) if isinstance(value, list) else value
+        for qualifier, value in row.items()
+    }
+
+
+class RowCache:
+    """Bounded TTL cache of row reads, invalidated per (table, row key)."""
+
+    def __init__(self, *, ttl_seconds: float = 30.0, max_rows: int = 4096):
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        if max_rows < 1:
+            raise ValueError("max_rows must be at least 1")
+        self.ttl_seconds = float(ttl_seconds)
+        self.max_rows = int(max_rows)
+        self._rows: "OrderedDict[_RowKey, Dict[_SubKey, Tuple[float, Dict[str, Any]]]]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        table: str,
+        row_key: str,
+        column_family: str,
+        version: Optional[int],
+        *,
+        now: Optional[float] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """Cached row dict, or None on miss/expiry (a copy, safe to mutate)."""
+        now = time.monotonic() if now is None else now
+        entry = self._rows.get((table, row_key))
+        if entry is not None:
+            cached = entry.get((column_family, version))
+            if cached is not None:
+                expires_at, row = cached
+                if now < expires_at:
+                    self.hits += 1
+                    self._rows.move_to_end((table, row_key))
+                    return _copy_row(row)
+                del entry[(column_family, version)]
+        self.misses += 1
+        return None
+
+    def put(
+        self,
+        table: str,
+        row_key: str,
+        column_family: str,
+        version: Optional[int],
+        row: Dict[str, Any],
+        *,
+        now: Optional[float] = None,
+    ) -> None:
+        now = time.monotonic() if now is None else now
+        entry = self._rows.setdefault((table, row_key), {})
+        entry[(column_family, version)] = (now + self.ttl_seconds, _copy_row(row))
+        self._rows.move_to_end((table, row_key))
+        while len(self._rows) > self.max_rows:
+            self._rows.popitem(last=False)
+
+    def invalidate(self, table: str, row_key: str) -> None:
+        """Drop every cached read of one row (called on write)."""
+        self._rows.pop((table, row_key), None)
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "rows": float(len(self._rows)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hits / total if total else 0.0,
+        }

@@ -12,9 +12,10 @@ the column-family store, mirroring a real deployment's write path.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.exceptions import StorageError, TableNotFoundError
+from repro.exceptions import RowNotFoundError, StorageError, TableNotFoundError
+from repro.hbase.cache import RowCache
 from repro.hbase.region import RegionRouter
 from repro.hbase.store import HBaseTable
 from repro.hbase.wal import WriteAheadLog
@@ -25,13 +26,31 @@ EMBEDDINGS_FAMILY = "user_node_embeddings"
 
 
 class HBaseClient:
-    """Client with table management, puts/gets, bulk load and scans."""
+    """Client with table management, puts/gets, batched reads and scans.
 
-    def __init__(self, *, num_regions: int = 4, max_versions: int = 5):
+    ``row_cache_ttl_s`` enables a small client-side TTL row cache (0 turns it
+    off).  Rows only change when the offline pipeline publishes a new daily
+    version, and every write through this client invalidates the cached row,
+    so the cache is transparent to callers.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_regions: int = 4,
+        max_versions: int = 5,
+        row_cache_ttl_s: float = 30.0,
+        row_cache_rows: int = 4096,
+    ):
         self._tables: Dict[str, HBaseTable] = {}
         self._router = RegionRouter(num_regions=num_regions)
         self._wal = WriteAheadLog()
         self._max_versions = max_versions
+        self._cache: Optional[RowCache] = (
+            RowCache(ttl_seconds=row_cache_ttl_s, max_rows=row_cache_rows)
+            if row_cache_ttl_s > 0
+            else None
+        )
 
     # ------------------------------------------------------------------
     # Table management
@@ -75,6 +94,8 @@ class HBaseClient:
         table = self.table(table_name)
         self._wal.append(table_name, row_key, column_family, values, version=version)
         self._router.record_write(row_key)
+        if self._cache is not None:
+            self._cache.invalidate(table_name, row_key)
         table.put(row_key, column_family, values, version=version)
 
     def get(
@@ -86,8 +107,15 @@ class HBaseClient:
         version: Optional[int] = None,
     ) -> Dict[str, Any]:
         table = self.table(table_name)
+        if self._cache is not None:
+            cached = self._cache.get(table_name, row_key, column_family, version)
+            if cached is not None:
+                return cached
         self._router.record_read(row_key)
-        return table.get(row_key, column_family, version=version)
+        row = table.get(row_key, column_family, version=version)
+        if self._cache is not None:
+            self._cache.put(table_name, row_key, column_family, version, row)
+        return row
 
     def get_or_default(
         self,
@@ -102,14 +130,51 @@ class HBaseClient:
 
         A brand-new account has no row yet; the online predictor must still
         answer, so it falls back to a neutral default row.  A missing *table*
-        is still an error — that is a deployment problem, not a cold user.
+        is a deployment problem, not a cold user, and always raises
+        :class:`TableNotFoundError` — only missing *rows* degrade.
         """
-        from repro.exceptions import RowNotFoundError
-
+        self.table(table_name)  # raises TableNotFoundError before degrading
         try:
             return self.get(table_name, row_key, column_family, version=version)
         except RowNotFoundError:
             return dict(default or {})
+
+    def multi_get(
+        self,
+        table_name: str,
+        row_keys: Sequence[str],
+        column_family: str,
+        *,
+        version: Optional[int] = None,
+        default: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Dict[str, Any]]:
+        """Batched point read for N row keys in one client call.
+
+        This is the online hot-path primitive — instead of one round trip per
+        user per column family, the Model Server fetches every row a batch of
+        transactions needs with one ``multi_get`` per family.  Keys are
+        deduplicated, satisfied from the row cache where possible, and the
+        remainder read through the region router.  Missing rows map to a copy
+        of ``default``.
+        """
+        table = self.table(table_name)
+        results: Dict[str, Dict[str, Any]] = {}
+        for row_key in dict.fromkeys(row_keys):
+            if self._cache is not None:
+                cached = self._cache.get(table_name, row_key, column_family, version)
+                if cached is not None:
+                    results[row_key] = cached
+                    continue
+            self._router.record_read(row_key)
+            try:
+                row = table.get(row_key, column_family, version=version)
+            except RowNotFoundError:
+                results[row_key] = dict(default or {})
+                continue
+            if self._cache is not None:
+                self._cache.put(table_name, row_key, column_family, version, row)
+            results[row_key] = row
+        return results
 
     def bulk_load(
         self,
@@ -144,6 +209,12 @@ class HBaseClient:
     # ------------------------------------------------------------------
     def region_load_report(self) -> Dict[int, Dict[str, int]]:
         return self._router.load_report()
+
+    def row_cache_stats(self) -> Dict[str, float]:
+        """Hit/miss statistics of the client-side row cache (zeros when off)."""
+        if self._cache is None:
+            return {"rows": 0.0, "hits": 0.0, "misses": 0.0, "hit_rate": 0.0}
+        return self._cache.stats()
 
     def wal_size(self) -> int:
         return len(self._wal)

@@ -11,10 +11,12 @@ transaction and notify the transferor (paper Figure 5).
 """
 
 from repro.serving.latency import LatencyTracker, LatencyReport
+from repro.serving.feature_source import HBaseFeatureSource
 from repro.serving.model_server import (
     ModelServer,
     ModelServerConfig,
     PredictionResponse,
+    ServingModel,
     TransactionRequest,
 )
 from repro.serving.alipay import AlipayServer, TransactionOutcome, ServedTransaction
@@ -22,9 +24,11 @@ from repro.serving.alipay import AlipayServer, TransactionOutcome, ServedTransac
 __all__ = [
     "LatencyTracker",
     "LatencyReport",
+    "HBaseFeatureSource",
     "ModelServer",
     "ModelServerConfig",
     "PredictionResponse",
+    "ServingModel",
     "TransactionRequest",
     "AlipayServer",
     "TransactionOutcome",

@@ -15,9 +15,12 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.datagen.schema import Transaction
 from repro.exceptions import ServingError
 from repro.logging_utils import get_logger
+from repro.serving.latency import LatencyTracker
 from repro.serving.model_server import ModelServer, PredictionResponse, TransactionRequest
 
 logger = get_logger("serving.alipay")
@@ -86,6 +89,14 @@ class AlipayServer:
         """Run one transfer through the fraud check."""
         server = self._pick_server()
         response = server.predict(request)
+        return self._record(request, response, was_fraud)
+
+    def _record(
+        self,
+        request: TransactionRequest,
+        response: PredictionResponse,
+        was_fraud: Optional[bool],
+    ) -> ServedTransaction:
         if response.is_fraud_alert:
             outcome = TransactionOutcome.INTERRUPTED
             self.notifications.append(
@@ -100,12 +111,76 @@ class AlipayServer:
         self.served.append(served)
         return served
 
-    def replay_transactions(self, transactions: Iterable[Transaction]) -> ServingReport:
-        """Replay labelled transactions (e.g. a test day) through the online path."""
+    def process_batch(
+        self,
+        requests: Sequence[TransactionRequest],
+        *,
+        was_fraud: Optional[Sequence[Optional[bool]]] = None,
+    ) -> List[ServedTransaction]:
+        """Run a micro-batch through the fleet's vectorised serving path.
+
+        The batch is split into one contiguous chunk per Model Server (the
+        starting server rotates, so repeated batches stay balanced) and each
+        chunk is scored with a single :meth:`ModelServer.predict_batch` call.
+        Results come back in request order.
+        """
+        requests = list(requests)
+        if not requests:
+            return []
+        labels: List[Optional[bool]] = (
+            list(was_fraud) if was_fraud is not None else [None] * len(requests)
+        )
+        if len(labels) != len(requests):
+            raise ServingError("was_fraud length does not match the batch")
+        num_servers = min(len(self._model_servers), len(requests))
+        chunk_bounds = np.linspace(0, len(requests), num_servers + 1).astype(int)
+        served: List[ServedTransaction] = []
+        for chunk_index in range(num_servers):
+            start, stop = int(chunk_bounds[chunk_index]), int(chunk_bounds[chunk_index + 1])
+            if start == stop:
+                continue
+            server = self._pick_server()
+            responses = server.predict_batch(requests[start:stop])
+            for request, response, label in zip(
+                requests[start:stop], responses, labels[start:stop]
+            ):
+                served.append(self._record(request, response, label))
+        return served
+
+    def replay_transactions(
+        self,
+        transactions: Iterable[Transaction],
+        *,
+        batch_size: Optional[int] = None,
+    ) -> ServingReport:
+        """Replay labelled transactions (e.g. a test day) through the online path.
+
+        With ``batch_size`` set, requests are micro-batched through
+        :meth:`process_batch` (the vectorised fleet path); otherwise each
+        transaction is scored with a scalar :meth:`process` call.
+        """
+        if batch_size is not None and batch_size < 1:
+            raise ServingError("batch_size must be at least 1")
+        if batch_size is None:
+            for transaction in transactions:
+                request = TransactionRequest.from_transaction(transaction)
+                self.process(request, was_fraud=transaction.is_fraud)
+            return self.report()
+        pending: List[Transaction] = []
         for transaction in transactions:
-            request = TransactionRequest.from_transaction(transaction)
-            self.process(request, was_fraud=transaction.is_fraud)
+            pending.append(transaction)
+            if len(pending) >= batch_size:
+                self._process_transaction_batch(pending)
+                pending = []
+        if pending:
+            self._process_transaction_batch(pending)
         return self.report()
+
+    def _process_transaction_batch(self, transactions: Sequence[Transaction]) -> None:
+        self.process_batch(
+            [TransactionRequest.from_transaction(t) for t in transactions],
+            was_fraud=[t.is_fraud for t in transactions],
+        )
 
     # ------------------------------------------------------------------
     def report(self) -> ServingReport:
@@ -131,14 +206,20 @@ class AlipayServer:
         )
 
     def latency_report(self) -> Dict[str, float]:
-        """Combined latency summary across the MS fleet."""
-        reports = [server.latency.report() for server in self._model_servers]
-        total = sum(r.count for r in reports)
-        if total == 0:
-            return {"count": 0.0, "mean_ms": 0.0, "p99_ms": 0.0}
-        mean = sum(r.mean_ms * r.count for r in reports) / total
+        """Combined latency summary across the MS fleet.
+
+        Quantiles are computed over the merged raw samples of every server's
+        tracker — taking the max of per-server p99s would overstate the
+        fleet p99 whenever server loads differ.
+        """
+        merged = LatencyTracker.merged_report(
+            [server.latency for server in self._model_servers]
+        )
         return {
-            "count": float(total),
-            "mean_ms": mean,
-            "p99_ms": max(r.p99_ms for r in reports),
+            "count": float(merged.count),
+            "mean_ms": merged.mean_ms,
+            "p50_ms": merged.p50_ms,
+            "p95_ms": merged.p95_ms,
+            "p99_ms": merged.p99_ms,
+            "sla_violations": float(merged.sla_violations),
         }

@@ -1,0 +1,91 @@
+"""Online :class:`FeatureSource`: per-user rows from Ali-HBase.
+
+The Model Server executes the exported :class:`FeaturePlan` against this
+source.  Profiles come from the basic-features column family (one qualifier
+per attribute) and embeddings from the embeddings family, where each set is
+stored as a single array-valued qualifier (``dw`` → list of floats) rather
+than one scalar cell per dimension, so a block read is one cell instead of
+``d``.  All reads go through :meth:`HBaseClient.multi_get`, one batched call
+per column family per batch of transactions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.datagen.schema import Gender, UserProfile
+from repro.exceptions import ServingError
+from repro.features.plan import EmbeddingBlockSpec, FeatureSource
+from repro.hbase.client import (
+    BASIC_FEATURES_FAMILY,
+    EMBEDDINGS_FAMILY,
+    HBaseClient,
+)
+
+
+def profile_from_row(user_id: str, row: Dict[str, object]) -> UserProfile:
+    """Deserialise a basic-features HBase row; missing cells get the neutral
+    defaults the offline :class:`BasicFeatureExtractor` uses for unseen users,
+    so cold accounts score identically offline and online."""
+    return UserProfile(
+        user_id=user_id,
+        age=int(row.get("age", 35)),
+        gender=Gender(row.get("gender", "U")),
+        home_city=str(row.get("home_city", "city_000")),
+        account_age_days=int(row.get("account_age_days", 365)),
+        kyc_level=int(row.get("kyc_level", 2)),
+        is_merchant=bool(row.get("is_merchant", False)),
+        device_count=int(row.get("device_count", 1)),
+        community=int(row.get("community", -1)),
+    )
+
+
+class HBaseFeatureSource(FeatureSource):
+    """Reads profiles and embedding blocks from the TitAnt feature store."""
+
+    def __init__(self, hbase: HBaseClient, table_name: str = "titant_features"):
+        self.hbase = hbase
+        self.table_name = table_name
+
+    # ------------------------------------------------------------------
+    def profiles_for(self, user_ids: Sequence[str]) -> Dict[str, UserProfile]:
+        rows = self.hbase.multi_get(
+            self.table_name, list(user_ids), BASIC_FEATURES_FAMILY, default={}
+        )
+        return {
+            user_id: profile_from_row(user_id, row) for user_id, row in rows.items()
+        }
+
+    def embedding_matrix(
+        self, block: EmbeddingBlockSpec, user_ids: Sequence[str]
+    ) -> np.ndarray:
+        rows = self.hbase.multi_get(
+            self.table_name, list(user_ids), EMBEDDINGS_FAMILY, default={}
+        )
+        vectors: Dict[str, np.ndarray] = {}
+        for user_id, row in rows.items():
+            vectors[user_id] = self._vector_from_row(block, row)
+        result = np.zeros((len(user_ids), block.dimension), dtype=np.float64)
+        for position, user_id in enumerate(user_ids):
+            result[position] = vectors[user_id]
+        return result
+
+    def _vector_from_row(
+        self, block: EmbeddingBlockSpec, row: Dict[str, object]
+    ) -> np.ndarray:
+        value = row.get(block.set_name)
+        if value is not None:
+            vector = np.asarray(value, dtype=np.float64).ravel()
+            if vector.shape[0] != block.dimension:
+                raise ServingError(
+                    f"stored {block.set_name!r} embedding has "
+                    f"{vector.shape[0]} dimensions, plan expects {block.dimension}"
+                )
+            return vector
+        # Legacy layout: one scalar cell per dimension ("dw_0", "dw_1", ...).
+        vector = np.zeros(block.dimension, dtype=np.float64)
+        for dim in range(block.dimension):
+            vector[dim] = float(row.get(f"{block.set_name}_{dim}", 0.0))
+        return vector

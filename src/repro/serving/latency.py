@@ -10,7 +10,7 @@ millisecond-level claim on the in-process reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -70,7 +70,53 @@ class LatencyTracker:
 
     @property
     def latencies_ms(self) -> List[float]:
+        """Raw recorded samples — merge these (or use :meth:`merged_report`)
+        for fleet-wide quantiles; taking ``max`` of per-server percentiles
+        overstates them."""
         return list(self._latencies_ms)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def merged_report(trackers: Sequence["LatencyTracker"]) -> LatencyReport:
+        """Fleet-wide report over the pooled raw samples of many trackers.
+
+        Percentiles are computed on the merged sample set, which is the
+        statistically correct fleet p99 (the max of per-server p99s is an
+        upper bound, not the quantile).  SLA violations are counted against
+        each tracker's own budget; the reported budget is the strictest one.
+        """
+        pooled: List[float] = []
+        violations = 0
+        budgets: List[float] = []
+        for tracker in trackers:
+            pooled.extend(tracker._latencies_ms)
+            violations += int(
+                np.sum(np.array(tracker._latencies_ms) > tracker.sla_budget_ms)
+            ) if tracker._latencies_ms else 0
+            budgets.append(tracker.sla_budget_ms)
+        budget = min(budgets) if budgets else 50.0
+        if not pooled:
+            return LatencyReport(
+                count=0,
+                mean_ms=0.0,
+                p50_ms=0.0,
+                p95_ms=0.0,
+                p99_ms=0.0,
+                max_ms=0.0,
+                sla_budget_ms=budget,
+                sla_violations=0,
+            )
+        values = np.array(pooled)
+        return LatencyReport(
+            count=int(values.shape[0]),
+            mean_ms=float(values.mean()),
+            p50_ms=float(np.percentile(values, 50)),
+            p95_ms=float(np.percentile(values, 95)),
+            p99_ms=float(np.percentile(values, 99)),
+            max_ms=float(values.max()),
+            sla_budget_ms=budget,
+            sla_violations=violations,
+        )
 
     # ------------------------------------------------------------------
     def report(self) -> LatencyReport:

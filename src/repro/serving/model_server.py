@@ -3,31 +3,33 @@
 The MS answers the Alipay server's fraud-check calls.  For each transaction
 request it
 
-1. reads the payer's and payee's latest rows from Ali-HBase — one column
-   family with profile/basic features, one with the user node embeddings,
-2. assembles exactly the feature vector the offline trainer used
-   (52 basic features followed by the configured embedding blocks),
-3. scores it with the currently loaded model file and compares against the
-   alert threshold calibrated offline,
-4. reports the decision together with the measured latency.
+1. reads the payer's and payee's latest rows from Ali-HBase — one batched
+   ``multi_get`` per column family (profiles, embeddings) per request batch,
+2. executes the :class:`~repro.features.plan.FeaturePlan` exported by the
+   offline trainer, so the online vector is byte-identical to the training
+   one — the MS owns no feature-assembly logic of its own,
+3. scores the assembled design matrix with one ``predict_proba`` call and
+   compares against the alert threshold calibrated offline,
+4. reports the decisions together with the measured (amortised) latency.
 
 Model files are replaced periodically ("T+1"): :meth:`ModelServer.load_model`
-hot-swaps the detector and records the version, without interrupting serving.
+hot-swaps the detector, its threshold and its plan atomically as one
+immutable :class:`ServingModel`, without interrupting serving and without
+mutating any shared configuration object.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from repro.datagen.schema import Gender, Transaction, TransactionChannel, UserProfile
+from repro.datagen.schema import Transaction, TransactionChannel
 from repro.exceptions import ModelNotLoadedError, ServingError
-from repro.features.basic import BasicFeatureExtractor
-from repro.hbase.client import BASIC_FEATURES_FAMILY, EMBEDDINGS_FAMILY, HBaseClient
+from repro.features.plan import FeaturePlan, FeaturePlanExecutor
+from repro.hbase.client import HBaseClient
 from repro.logging_utils import Stopwatch, get_logger
 from repro.models.base import BaseDetector
+from repro.serving.feature_source import HBaseFeatureSource
 from repro.serving.latency import LatencyTracker
 
 logger = get_logger("serving.model_server")
@@ -106,23 +108,42 @@ class PredictionResponse:
     latency_ms: float
 
 
-@dataclass
+@dataclass(frozen=True)
 class ModelServerConfig:
-    """Configuration of the online feature assembly and alerting."""
+    """Immutable server-level configuration.
+
+    Per-model state (threshold, feature plan) lives on the
+    :class:`ServingModel` installed by :meth:`ModelServer.load_model`, so two
+    servers sharing one config object can never clobber each other;
+    ``alert_threshold`` here is only the default for models loaded without a
+    calibrated threshold.
+    """
 
     feature_table: str = "titant_features"
-    #: Ordered embedding blocks: (set name, dimension) — must match training.
-    embedding_specs: List[tuple] = field(default_factory=list)
-    #: "payer", "payee" or "both" — must match the offline FeatureAssembler.
-    embedding_side: str = "both"
     alert_threshold: float = 0.5
     sla_budget_ms: float = 50.0
 
     def validate(self) -> None:
-        if self.embedding_side not in ("payer", "payee", "both"):
-            raise ServingError("embedding_side must be 'payer', 'payee' or 'both'")
         if not 0.0 <= self.alert_threshold <= 1.0:
             raise ServingError("alert_threshold must be in [0, 1]")
+        if self.sla_budget_ms <= 0:
+            raise ServingError("sla_budget_ms must be positive")
+
+
+@dataclass(frozen=True)
+class ServingModel:
+    """One hot-swappable unit of serving state: model ⊕ threshold ⊕ plan."""
+
+    model: BaseDetector
+    version: str
+    threshold: float
+    plan: FeaturePlan
+
+    def __post_init__(self) -> None:
+        if not self.model.is_fitted:
+            raise ServingError("cannot serve an unfitted model")
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ServingError("threshold must be in [0, 1]")
 
 
 class ModelServer:
@@ -136,8 +157,9 @@ class ModelServer:
         self.hbase = hbase
         self.config = config or ModelServerConfig()
         self.config.validate()
-        self._model: Optional[BaseDetector] = None
-        self._model_version: str = ""
+        self._feature_table = self.config.feature_table
+        self._active: Optional[ServingModel] = None
+        self._executor: Optional[FeaturePlanExecutor] = None
         self.latency = LatencyTracker(sla_budget_ms=self.config.sla_budget_ms)
         self.requests_served = 0
 
@@ -150,103 +172,125 @@ class ModelServer:
         *,
         version: str,
         threshold: Optional[float] = None,
+        plan: Optional[FeaturePlan] = None,
         embedding_specs: Optional[Sequence[tuple]] = None,
         embedding_side: Optional[str] = None,
     ) -> None:
-        """Hot-swap the served model (the periodic T+1 update)."""
+        """Hot-swap the served model (the periodic T+1 update).
+
+        The trainer exports a :class:`FeaturePlan` with every model; pass it
+        as ``plan``.  The legacy ``embedding_specs`` / ``embedding_side`` pair
+        is still accepted and converted into a plan.
+        """
         if not model.is_fitted:
             raise ServingError("cannot load an unfitted model into the Model Server")
-        self._model = model
-        self._model_version = version
-        if threshold is not None:
-            self.config.alert_threshold = float(threshold)
-        if embedding_specs is not None:
-            self.config.embedding_specs = [tuple(spec) for spec in embedding_specs]
-        if embedding_side is not None:
-            self.config.embedding_side = embedding_side
-            self.config.validate()
-        logger.info("model %s loaded (threshold %.3f)", version, self.config.alert_threshold)
+        if plan is not None and (embedding_specs is not None or embedding_side is not None):
+            raise ServingError("pass either a FeaturePlan or embedding specs, not both")
+        if plan is None:
+            plan = FeaturePlan.from_specs(
+                embedding_specs or (), embedding_side=embedding_side or "both"
+            )
+        self._active = ServingModel(
+            model=model,
+            version=version,
+            threshold=self.config.alert_threshold if threshold is None else float(threshold),
+            plan=plan,
+        )
+        self._rebuild_executor()
+        logger.info(
+            "model %s loaded (threshold %.3f, %d features)",
+            version,
+            self._active.threshold,
+            plan.num_features,
+        )
+
+    def _rebuild_executor(self) -> None:
+        if self._active is None:
+            self._executor = None
+            return
+        source = HBaseFeatureSource(self.hbase, self._feature_table)
+        self._executor = FeaturePlanExecutor(self._active.plan, source)
+
+    @property
+    def feature_table(self) -> str:
+        return self._feature_table
+
+    @feature_table.setter
+    def feature_table(self, table_name: str) -> None:
+        self._feature_table = table_name
+        self._rebuild_executor()
+
+    @property
+    def active_model(self) -> Optional[ServingModel]:
+        return self._active
+
+    @property
+    def plan_executor(self) -> Optional[FeaturePlanExecutor]:
+        """The executor assembling this server's vectors (None before load).
+
+        Exposed so tests can prove offline/online parity: the executor is the
+        same class the offline :class:`FeatureAssembler` runs, only pointed at
+        the HBase-backed source.
+        """
+        return self._executor
 
     @property
     def model_version(self) -> str:
-        return self._model_version
+        return self._active.version if self._active is not None else ""
+
+    @property
+    def alert_threshold(self) -> float:
+        return (
+            self._active.threshold
+            if self._active is not None
+            else self.config.alert_threshold
+        )
 
     @property
     def has_model(self) -> bool:
-        return self._model is not None
+        return self._active is not None
 
     # ------------------------------------------------------------------
     # Online prediction
     # ------------------------------------------------------------------
     def predict(self, request: TransactionRequest) -> PredictionResponse:
         """Score one transaction request against the loaded model."""
-        if self._model is None:
+        return self.predict_batch([request])[0]
+
+    def predict_batch(
+        self, requests: Sequence[TransactionRequest]
+    ) -> List[PredictionResponse]:
+        """Score a micro-batch with one assembly pass and one model call.
+
+        All HBase rows the batch needs are fetched with one ``multi_get`` per
+        column family, the design matrix is assembled in one vectorised pass,
+        and the model scores it with a single ``predict_proba``.  Each
+        response reports the amortised per-request latency (batch wall time
+        divided by batch size), which is what the SLA budget constrains.
+        """
+        active, executor = self._active, self._executor
+        if active is None or executor is None:
             raise ModelNotLoadedError("the Model Server has no model loaded")
+        if not requests:
+            return []
         watch = Stopwatch().start()
-        vector = self._assemble_features(request)
-        probability = float(self._model.predict_proba(vector.reshape(1, -1))[0])
-        latency_ms = watch.stop() * 1000.0
-        self.latency.record(latency_ms)
-        self.requests_served += 1
-        return PredictionResponse(
-            transaction_id=request.transaction_id,
-            fraud_probability=probability,
-            is_fraud_alert=probability >= self.config.alert_threshold,
-            threshold=self.config.alert_threshold,
-            model_version=self._model_version,
-            latency_ms=latency_ms,
-        )
-
-    def predict_batch(self, requests: Sequence[TransactionRequest]) -> List[PredictionResponse]:
-        return [self.predict(request) for request in requests]
-
-    # ------------------------------------------------------------------
-    # Feature assembly from Ali-HBase rows
-    # ------------------------------------------------------------------
-    def _assemble_features(self, request: TransactionRequest) -> np.ndarray:
-        payer_profile = self._profile_from_hbase(request.payer_id)
-        payee_profile = self._profile_from_hbase(request.payee_id)
-        extractor = BasicFeatureExtractor(
-            {payer_profile.user_id: payer_profile, payee_profile.user_id: payee_profile}
-        )
-        basic = extractor.extract_one(request.to_transaction())
-        blocks = [basic]
-        for set_name, dimension in self.config.embedding_specs:
-            blocks.append(self._embedding_block(set_name, int(dimension), request))
-        return np.concatenate(blocks)
-
-    def _profile_from_hbase(self, user_id: str) -> UserProfile:
-        row = self.hbase.get_or_default(
-            self.config.feature_table, user_id, BASIC_FEATURES_FAMILY, default={}
-        )
-        return UserProfile(
-            user_id=user_id,
-            age=int(row.get("age", 35)),
-            gender=Gender(row.get("gender", "U")),
-            home_city=str(row.get("home_city", "city_000")),
-            account_age_days=int(row.get("account_age_days", 365)),
-            kyc_level=int(row.get("kyc_level", 2)),
-            is_merchant=bool(row.get("is_merchant", False)),
-            device_count=int(row.get("device_count", 1)),
-            community=int(row.get("community", -1)),
-        )
-
-    def _embedding_block(
-        self, set_name: str, dimension: int, request: TransactionRequest
-    ) -> np.ndarray:
-        sides: List[str]
-        if self.config.embedding_side == "both":
-            sides = ["payer", "payee"]
-        else:
-            sides = [self.config.embedding_side]
-        pieces: List[np.ndarray] = []
-        for side in sides:
-            user_id = request.payer_id if side == "payer" else request.payee_id
-            row = self.hbase.get_or_default(
-                self.config.feature_table, user_id, EMBEDDINGS_FAMILY, default={}
+        transactions = [request.to_transaction() for request in requests]
+        matrix = executor.assemble(transactions, with_labels=False)
+        probabilities = active.model.predict_proba(matrix.values)
+        per_request_ms = watch.stop() * 1000.0 / len(requests)
+        responses: List[PredictionResponse] = []
+        for request, probability in zip(requests, probabilities):
+            probability = float(probability)
+            self.latency.record(per_request_ms)
+            self.requests_served += 1
+            responses.append(
+                PredictionResponse(
+                    transaction_id=request.transaction_id,
+                    fraud_probability=probability,
+                    is_fraud_alert=probability >= active.threshold,
+                    threshold=active.threshold,
+                    model_version=active.version,
+                    latency_ms=per_request_ms,
+                )
             )
-            vector = np.zeros(dimension)
-            for dim in range(dimension):
-                vector[dim] = float(row.get(f"{set_name}_{dim}", 0.0))
-            pieces.append(vector)
-        return np.concatenate(pieces)
+        return responses

@@ -92,6 +92,58 @@ class TestRegionsAndWAL:
             client.get("missing_table", "u1", BASIC_FEATURES_FAMILY)
         assert client.wal_size() == 1
 
+    def test_get_or_default_raises_on_missing_table(self):
+        client = HBaseClient()
+        with pytest.raises(TableNotFoundError):
+            client.get_or_default("nope", "u1", BASIC_FEATURES_FAMILY, default={})
+
+    def test_multi_get_batches_and_defaults(self):
+        client = HBaseClient()
+        client.create_feature_store()
+        for index in range(8):
+            client.put(
+                "titant_features", f"u{index}", BASIC_FEATURES_FAMILY, {"age": index}, version=1
+            )
+        keys = [f"u{index}" for index in range(8)] + ["ghost", "u0"]  # dup + miss
+        rows = client.multi_get(
+            "titant_features", keys, BASIC_FEATURES_FAMILY, default={"age": -1}
+        )
+        assert len(rows) == 9
+        assert rows["u3"]["age"] == 3
+        assert rows["ghost"] == {"age": -1}
+        with pytest.raises(TableNotFoundError):
+            client.multi_get("missing", keys, BASIC_FEATURES_FAMILY)
+
+    def test_row_cache_hits_and_write_invalidation(self):
+        client = HBaseClient(row_cache_ttl_s=60.0)
+        client.create_feature_store()
+        client.put("titant_features", "u1", BASIC_FEATURES_FAMILY, {"age": 30}, version=1)
+        assert client.get("titant_features", "u1", BASIC_FEATURES_FAMILY)["age"] == 30
+        reads_before = sum(
+            stats["reads"] for stats in client.region_load_report().values()
+        )
+        assert client.get("titant_features", "u1", BASIC_FEATURES_FAMILY)["age"] == 30
+        reads_after = sum(
+            stats["reads"] for stats in client.region_load_report().values()
+        )
+        assert reads_after == reads_before  # served from cache
+        assert client.row_cache_stats()["hits"] >= 1
+        # A write invalidates the cached row, so the next read sees it.
+        client.put("titant_features", "u1", BASIC_FEATURES_FAMILY, {"age": 31}, version=2)
+        assert client.get("titant_features", "u1", BASIC_FEATURES_FAMILY)["age"] == 31
+
+    def test_row_cache_disabled(self):
+        client = HBaseClient(row_cache_ttl_s=0.0)
+        client.create_feature_store()
+        client.put("titant_features", "u1", BASIC_FEATURES_FAMILY, {"age": 30}, version=1)
+        client.get("titant_features", "u1", BASIC_FEATURES_FAMILY)
+        assert client.row_cache_stats() == {
+            "rows": 0.0,
+            "hits": 0.0,
+            "misses": 0.0,
+            "hit_rate": 0.0,
+        }
+
 
 class TestLatencyTracker:
     def test_report_percentiles(self):
@@ -136,7 +188,7 @@ def serving_stack(world, dataset, feature_matrices):
             },
             version=dataset.spec.test_day,
         )
-    server = ModelServer(hbase, ModelServerConfig(embedding_specs=[], embedding_side="both"))
+    server = ModelServer(hbase, ModelServerConfig())
     server.load_model(model, version="test_v1", threshold=0.5)
     return hbase, server
 
@@ -168,8 +220,45 @@ class TestModelServer:
         extractor = BasicFeatureExtractor(world.profiles_by_id)
         txn = dataset.test_transactions[0]
         offline_vector = extractor.extract_one(txn)
-        online_vector = server._assemble_features(TransactionRequest.from_transaction(txn))
+        online_vector = server.plan_executor.assemble_single(
+            TransactionRequest.from_transaction(txn).to_transaction()
+        )
         assert np.allclose(offline_vector, online_vector)
+
+    def test_predict_batch_matches_scalar_predictions(self, serving_stack, dataset):
+        _, server = serving_stack
+        requests = [
+            TransactionRequest.from_transaction(txn)
+            for txn in dataset.test_transactions[:32]
+        ]
+        scalar = [server.predict(request).fraud_probability for request in requests]
+        batch = [r.fraud_probability for r in server.predict_batch(requests)]
+        assert np.allclose(scalar, batch)
+
+    def test_load_model_does_not_mutate_shared_config(self, serving_stack, feature_matrices):
+        hbase, first = serving_stack
+        train, _ = feature_matrices
+        shared = ModelServerConfig(alert_threshold=0.5)
+        a = ModelServer(hbase, shared)
+        b = ModelServer(hbase, shared)
+        model = GradientBoostingClassifier(num_trees=5, seed=3).fit(train.values, train.labels)
+        a.load_model(model, version="va", threshold=0.9)
+        b.load_model(model, version="vb", threshold=0.1)
+        assert shared.alert_threshold == pytest.approx(0.5)
+        assert a.alert_threshold == pytest.approx(0.9)
+        assert b.alert_threshold == pytest.approx(0.1)
+
+    def test_rejects_plan_and_specs_together(self, serving_stack, feature_matrices):
+        hbase, _ = serving_stack
+        train, _ = feature_matrices
+        from repro.features.plan import FeaturePlan
+
+        model = GradientBoostingClassifier(num_trees=5, seed=4).fit(train.values, train.labels)
+        server = ModelServer(hbase)
+        with pytest.raises(ServingError):
+            server.load_model(
+                model, version="v", plan=FeaturePlan(), embedding_specs=[("dw", 8)]
+            )
 
     def test_latency_is_milliseconds_scale(self, serving_stack, dataset):
         _, server = serving_stack
@@ -185,7 +274,7 @@ class TestModelServer:
         new_model = GradientBoostingClassifier(num_trees=5, seed=1).fit(train.values, train.labels)
         server.load_model(new_model, version="test_v2", threshold=0.7)
         assert server.model_version == "test_v2"
-        assert server.config.alert_threshold == pytest.approx(0.7)
+        assert server.alert_threshold == pytest.approx(0.7)
 
     def test_unfitted_model_rejected(self, serving_stack):
         _, server = serving_stack
@@ -225,3 +314,52 @@ class TestAlipayServer:
         summary = alipay.latency_report()
         assert summary["count"] >= 20.0
         assert summary["mean_ms"] > 0.0
+
+    def test_fleet_p99_merges_raw_samples(self):
+        # Two servers with very different loads: pooling the samples gives the
+        # true fleet p99; max(per-server p99) would report ~10 ms instead.
+        fast = LatencyTracker(sla_budget_ms=50.0)
+        slow = LatencyTracker(sla_budget_ms=50.0)
+        for _ in range(99):
+            fast.record(1.0)
+        slow.record(10.0)
+        merged = LatencyTracker.merged_report([fast, slow])
+        assert merged.count == 100
+        assert merged.p99_ms < 10.0
+        assert merged.p99_ms < max(fast.report().p99_ms, slow.report().p99_ms) + 1e-9
+
+    def test_replay_batched_matches_scalar_outcomes(self, serving_stack, dataset):
+        hbase, server = serving_stack
+        transactions = dataset.test_transactions[:64]
+        scalar = AlipayServer(server)
+        scalar_report = scalar.replay_transactions(transactions)
+        batched = AlipayServer(server)
+        batched_report = batched.replay_transactions(transactions, batch_size=16)
+        assert batched_report.total == scalar_report.total == 64
+        assert batched_report.interrupted == scalar_report.interrupted
+        assert batched_report.true_alerts == scalar_report.true_alerts
+        assert [s.response.fraud_probability for s in batched.served] == pytest.approx(
+            [s.response.fraud_probability for s in scalar.served]
+        )
+
+    def test_process_batch_spreads_over_fleet(self, serving_stack, feature_matrices, dataset):
+        hbase, first = serving_stack
+        train, _ = feature_matrices
+        second = ModelServer(hbase, ModelServerConfig())
+        second.load_model(
+            GradientBoostingClassifier(num_trees=5, seed=9).fit(train.values, train.labels),
+            version="replica",
+        )
+        alipay = AlipayServer([first, second])
+        first_before = first.requests_served
+        requests = [
+            TransactionRequest.from_transaction(txn)
+            for txn in dataset.test_transactions[:40]
+        ]
+        served = alipay.process_batch(requests)
+        assert len(served) == 40
+        assert [s.request.transaction_id for s in served] == [
+            r.transaction_id for r in requests
+        ]
+        assert first.requests_served - first_before == 20
+        assert second.requests_served == 20
