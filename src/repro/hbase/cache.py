@@ -70,6 +70,10 @@ class RowCache:
                     self._rows.move_to_end((table, row_key))
                     return _copy_row(row)
                 del entry[(column_family, version)]
+                if not entry:
+                    # Drop the empty row entry so expired rows stop occupying
+                    # max_rows capacity (and len()/stats() stay truthful).
+                    del self._rows[(table, row_key)]
         self.misses += 1
         return None
 

@@ -25,6 +25,7 @@ from repro.kunpeng.cluster import KunPengCluster, ClusterConfig
 from repro.kunpeng.cost_model import (
     ClusterCostModel,
     TrainingTimeEstimate,
+    deepwalk_round_volume,
     estimate_deepwalk_time,
     estimate_gbdt_time,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "ClusterConfig",
     "ClusterCostModel",
     "TrainingTimeEstimate",
+    "deepwalk_round_volume",
     "estimate_deepwalk_time",
     "estimate_gbdt_time",
     "FailureInjector",

@@ -48,11 +48,20 @@ class ClusterConfig:
 
 @dataclass
 class CommunicationLog:
-    """Aggregate communication counters of one training run."""
+    """Aggregate communication counters of one training run.
+
+    ``values_transferred`` counts embedding *rows* moved between workers and
+    servers.  Traffic inside a :meth:`begin_round`/:meth:`end_round` window is
+    additionally recorded per round, so the cost model can use the actual
+    per-round volume instead of assuming every round moves the full matrices
+    (checkpoint downloads and other out-of-round transfers stay excluded).
+    """
 
     pull_requests: int = 0
     push_requests: int = 0
     values_transferred: int = 0
+    round_values: List[int] = field(default_factory=list)
+    _round_start: Optional[int] = None
 
     def record_pull(self, num_values: int) -> None:
         self.pull_requests += 1
@@ -61,6 +70,20 @@ class CommunicationLog:
     def record_push(self, num_values: int) -> None:
         self.push_requests += 1
         self.values_transferred += num_values
+
+    def begin_round(self) -> None:
+        self._round_start = self.values_transferred
+
+    def end_round(self) -> None:
+        if self._round_start is None:
+            raise ParameterServerError("end_round called without begin_round")
+        self.round_values.append(self.values_transferred - self._round_start)
+        self._round_start = None
+
+    def mean_values_per_round(self) -> float:
+        if not self.round_values:
+            return 0.0
+        return float(sum(self.round_values)) / len(self.round_values)
 
 
 class KunPengCluster:
@@ -78,6 +101,8 @@ class KunPengCluster:
         self.communication = CommunicationLog()
         #: ``name -> list of (row_start, row_end, server index)``
         self._placements: Dict[str, List[Tuple[int, int, int]]] = {}
+        #: ``name -> embedding dimension`` (column count of the hosted matrix)
+        self._dimensions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Parameter placement and routing
@@ -102,6 +127,7 @@ class KunPengCluster:
             )
             placements.append((row_start, row_end, server_index))
         self._placements[name] = placements
+        self._dimensions[name] = int(matrix.shape[1])
 
     def _owner(self, name: str, row: int) -> ParameterServerNode:
         for row_start, row_end, server_index in self._placements.get(name, []):
@@ -121,6 +147,56 @@ class KunPengCluster:
             result.update(self.servers[server_id].pull(name, server_rows))
             self.communication.record_pull(len(server_rows))
         return result
+
+    def pull_row_block(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Vectorised sparse pull: stacked rows in request order.
+
+        Routes contiguous row-range slices to their owning shards; only the
+        requested rows travel, which is the parameter-server design the paper
+        relies on for word2vec at Alipay scale.
+        """
+        if name not in self._placements:
+            raise ParameterServerError(f"unknown parameter {name!r}")
+        rows = np.asarray(rows, dtype=np.int64)
+        result = np.empty((rows.shape[0], self._dimensions[name]), dtype=np.float64)
+        matched = 0
+        for row_start, row_end, server_index in self._placements[name]:
+            mask = (rows >= row_start) & (rows < row_end)
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            result[mask] = self.servers[server_index].pull_block(name, rows[mask])
+            self.communication.record_pull(count)
+            matched += count
+        if matched != rows.shape[0]:
+            raise ParameterServerError(f"some requested rows of {name!r} have no owning server")
+        return result
+
+    def push_row_block(
+        self,
+        name: str,
+        rows: np.ndarray,
+        gradients: np.ndarray,
+        *,
+        learning_rate: float = 1.0,
+    ) -> None:
+        """Vectorised sparse push: row-sparse gradient block routed to shards."""
+        if name not in self._placements:
+            raise ParameterServerError(f"unknown parameter {name!r}")
+        rows = np.asarray(rows, dtype=np.int64)
+        matched = 0
+        for row_start, row_end, server_index in self._placements[name]:
+            mask = (rows >= row_start) & (rows < row_end)
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            self.servers[server_index].push_block(
+                name, rows[mask], gradients[mask], learning_rate=learning_rate
+            )
+            self.communication.record_push(count)
+            matched += count
+        if matched != rows.shape[0]:
+            raise ParameterServerError(f"some pushed rows of {name!r} have no owning server")
 
     def pull_matrix(self, name: str) -> np.ndarray:
         """Reassemble the full parameter matrix (checkpoint / final download)."""
@@ -174,6 +250,21 @@ class KunPengCluster:
         return [worker for worker in self.workers if worker.alive]
 
     # ------------------------------------------------------------------
+    # Per-round communication accounting
+    # ------------------------------------------------------------------
+    def begin_round(self) -> None:
+        """Open a per-round accounting window (see :class:`CommunicationLog`)."""
+        self.communication.begin_round()
+
+    def end_round(self) -> None:
+        """Close the window; the round's transferred row count is recorded."""
+        self.communication.end_round()
+
+    def values_per_round(self) -> List[int]:
+        """Rows transferred in each recorded training round."""
+        return list(self.communication.round_values)
+
+    # ------------------------------------------------------------------
     def workload_summary(self) -> Dict[str, float]:
         """Totals feeding the cost model: compute units and communication volume."""
         return {
@@ -189,4 +280,6 @@ class KunPengCluster:
             "pull_requests": float(self.communication.pull_requests),
             "push_requests": float(self.communication.push_requests),
             "values_transferred": float(self.communication.values_transferred),
+            "rounds_recorded": float(len(self.communication.round_values)),
+            "values_per_round": self.communication.mean_values_per_round(),
         }

@@ -166,15 +166,60 @@ _GBDT_COST_MODEL = ClusterCostModel(
 )
 
 
+def deepwalk_round_volume(
+    vocab_rows: int,
+    num_workers: int,
+    *,
+    mode: str = "dense",
+    batch_pairs: int = 2048,
+    negatives: int = 5,
+) -> float:
+    """Embedding rows a synchronous DeepWalk round moves, per training mode.
+
+    ``dense`` is the model-average loop: every worker pulls both full matrices
+    and pushes both full replicas back, i.e. ``4 * vocab_rows * num_workers``
+    rows per round regardless of batch size.  ``sparse`` is the paper's
+    pull/compute/push cycle: each worker pulls only the ``w_in`` rows of its
+    batch's centers and the ``w_out`` rows of its contexts ∪ negatives, then
+    pushes the same rows back.  The bound below assumes no duplicates, so it
+    is an upper bound — real batches repeat hub nodes and frequent negatives
+    and move fewer rows (the simulated cluster records the actual counts).
+    """
+    if mode == "dense":
+        return 4.0 * vocab_rows * num_workers
+    if mode != "sparse":
+        raise ConfigurationError(f"unknown training mode {mode!r}")
+    pulled_in = min(vocab_rows, batch_pairs)
+    pulled_out = min(vocab_rows, batch_pairs * (1 + negatives))
+    return 2.0 * (pulled_in + pulled_out) * num_workers
+
+
+#: Approximate vocabulary size behind Figure 10's DeepWalk workload, used to
+#: scale the preset communication volume when estimating the sparse loop.
+_DEEPWALK_VOCAB_ROWS = 150_000
+
+
 def estimate_deepwalk_time(
-    num_machines: int, *, cost_model: ClusterCostModel | None = None
+    num_machines: int,
+    *,
+    mode: str = "dense",
+    cost_model: ClusterCostModel | None = None,
 ) -> TrainingTimeEstimate:
-    """Estimated distributed DeepWalk training time on ``num_machines``."""
+    """Estimated distributed DeepWalk training time on ``num_machines``.
+
+    ``mode="sparse"`` rescales the preset per-round communication volume by
+    the sparse/dense ratio of :func:`deepwalk_round_volume`, modelling the
+    row-sparse pull/push loop instead of full model averaging.
+    """
     model = cost_model or _DEEPWALK_COST_MODEL
-    return model.estimate(
-        cluster=ClusterConfig(num_machines=num_machines),
-        **DEEPWALK_PRODUCTION_WORKLOAD,
-    )
+    workload = dict(DEEPWALK_PRODUCTION_WORKLOAD)
+    cluster = ClusterConfig(num_machines=num_machines)
+    if mode != "dense":
+        ratio = deepwalk_round_volume(
+            _DEEPWALK_VOCAB_ROWS, cluster.num_workers, mode=mode
+        ) / deepwalk_round_volume(_DEEPWALK_VOCAB_ROWS, cluster.num_workers, mode="dense")
+        workload["comm_values_per_round"] *= ratio
+    return model.estimate(cluster=cluster, **workload)
 
 
 def estimate_gbdt_time(

@@ -81,6 +81,20 @@ class ParameterServerNode:
             result[row] = shard.values[row - shard.row_start].copy()
         return result
 
+    def pull_block(self, name: str, rows: np.ndarray) -> np.ndarray:
+        """Vectorised pull: stacked copies of ``rows`` (global indices), in order."""
+        shard = self._get(name)
+        self.pull_count += 1
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return np.empty((0, shard.values.shape[1]), dtype=np.float64)
+        if rows.min() < shard.row_start or rows.max() >= shard.row_end:
+            raise ParameterServerError(
+                f"rows outside [{shard.row_start}, {shard.row_end}) of {name!r} "
+                f"requested from server {self.node_id}"
+            )
+        return shard.values[rows - shard.row_start]  # fancy indexing copies
+
     def pull_all(self, name: str) -> np.ndarray:
         """Copy of the whole shard (used by model averaging and checkpoints)."""
         self.pull_count += 1
@@ -102,6 +116,32 @@ class ParameterServerNode:
                     f"row {row} of {name!r} is not hosted on server {self.node_id}"
                 )
             shard.values[row - shard.row_start] -= learning_rate * gradient
+
+    def push_block(
+        self,
+        name: str,
+        rows: np.ndarray,
+        gradients: np.ndarray,
+        *,
+        learning_rate: float = 1.0,
+    ) -> None:
+        """Vectorised push: ``values[rows] -= learning_rate * gradients``.
+
+        ``np.subtract.at`` accumulates correctly even if ``rows`` repeats.
+        """
+        shard = self._get(name)
+        self.push_count += 1
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return
+        if rows.min() < shard.row_start or rows.max() >= shard.row_end:
+            raise ParameterServerError(
+                f"rows outside [{shard.row_start}, {shard.row_end}) of {name!r} "
+                f"pushed to server {self.node_id}"
+            )
+        if gradients.shape != (rows.shape[0], shard.values.shape[1]):
+            raise ParameterServerError("pushed gradient block shape does not match rows")
+        np.subtract.at(shard.values, rows - shard.row_start, learning_rate * gradients)
 
     def push_average(self, name: str, replicas: List[np.ndarray]) -> None:
         """Model averaging: replace the shard with the mean of worker replicas.

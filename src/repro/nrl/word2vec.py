@@ -148,6 +148,51 @@ def generate_skipgram_pairs(
     return np.concatenate(centers), np.concatenate(contexts)
 
 
+def generate_skipgram_pairs_batch(
+    encoded_batch: np.ndarray, window: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Skip-gram pairs from a padded ``(batch, walk_length)`` index matrix.
+
+    Entries ``< 0`` are padding (terminated walks or pruned tokens) and never
+    pair.  Rows must be compacted (all valid entries before any padding) so
+    that offsets measure distance in the pruned sequence, matching
+    :func:`generate_skipgram_pairs` on individually encoded sentences.
+    """
+    centers: List[np.ndarray] = []
+    contexts: List[np.ndarray] = []
+    length = encoded_batch.shape[1] if encoded_batch.ndim == 2 else 0
+    for offset in range(1, min(window, length - 1) + 1):
+        left = encoded_batch[:, :-offset].reshape(-1)
+        right = encoded_batch[:, offset:].reshape(-1)
+        mask = (left >= 0) & (right >= 0)
+        if not mask.any():
+            continue
+        left, right = left[mask], right[mask]
+        centers.append(left)
+        contexts.append(right)
+        centers.append(right)
+        contexts.append(left)
+    if not centers:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+    return np.concatenate(centers), np.concatenate(contexts)
+
+
+def encode_walk_batch(batch: np.ndarray, node_to_token: np.ndarray) -> np.ndarray:
+    """Map a padded walk-index batch through ``node_to_token`` and compact rows.
+
+    ``node_to_token`` maps network node index -> vocabulary index (``-1`` for
+    pruned nodes).  Pruned entries are squeezed out of each row (valid tokens
+    shift left, padding fills the tail), mirroring how
+    :meth:`Vocabulary.encode` drops unknown tokens before pairing.
+    """
+    mapped = np.where(batch >= 0, node_to_token[np.maximum(batch, 0)], -1)
+    invalid = mapped < 0
+    if not invalid.any():
+        return mapped
+    order = np.argsort(invalid, axis=1, kind="stable")
+    return np.take_along_axis(mapped, order, axis=1)
+
+
 def build_negative_table(counts: np.ndarray, table_size: int, power: float = 0.75) -> np.ndarray:
     """Unigram^power negative-sampling table (index array of length ``table_size``)."""
     weights = np.power(np.maximum(counts, 1e-12), power)
@@ -194,6 +239,84 @@ def sgns_batch_update(
     return float(loss)
 
 
+@dataclass
+class SparseBatch:
+    """One minibatch expressed against *compacted* row sets.
+
+    ``rows_in``/``rows_out`` are the unique global rows a batch touches (sorted
+    ascending); the index arrays address those compacted sets.  This is exactly
+    the unit of work of the paper's pull/compute/push cycle: a worker pulls
+    ``rows_in`` of ``w_in`` and ``rows_out`` of ``w_out``, computes gradients
+    locally and pushes one gradient row back per pulled row.
+    """
+
+    rows_in: np.ndarray  # (U_in,) unique center rows
+    rows_out: np.ndarray  # (U_out,) unique context ∪ negative rows
+    center_idx: np.ndarray  # (B,) indices into rows_in
+    context_idx: np.ndarray  # (B,) indices into rows_out
+    negative_idx: np.ndarray  # (B, K) indices into rows_out
+
+    @classmethod
+    def from_pairs(
+        cls, centers: np.ndarray, contexts: np.ndarray, negatives: np.ndarray
+    ) -> "SparseBatch":
+        rows_in, center_idx = np.unique(centers, return_inverse=True)
+        out_rows = np.concatenate([contexts, negatives.reshape(-1)])
+        rows_out, out_idx = np.unique(out_rows, return_inverse=True)
+        return cls(
+            rows_in=rows_in,
+            rows_out=rows_out,
+            center_idx=center_idx,
+            context_idx=out_idx[: contexts.shape[0]],
+            negative_idx=out_idx[contexts.shape[0] :].reshape(negatives.shape),
+        )
+
+    @property
+    def num_rows(self) -> int:
+        """Unique embedding rows the batch pulls (and pushes)."""
+        return int(self.rows_in.shape[0] + self.rows_out.shape[0])
+
+
+def sgns_sparse_step(
+    v_in: np.ndarray,
+    v_out: np.ndarray,
+    batch: SparseBatch,
+) -> Tuple[np.ndarray, np.ndarray, float]:
+    """SGNS gradients over pulled row blocks, fully vectorised.
+
+    ``v_in``/``v_out`` are the pulled ``(U_in, d)``/``(U_out, d)`` row blocks
+    matching ``batch.rows_in``/``batch.rows_out``.  Returns dense gradient
+    blocks of the same shapes plus the mean batch loss; the caller pushes the
+    blocks back row-sparsely.
+    """
+    c_in = v_in[batch.center_idx]  # (B, d)
+    c_pos = v_out[batch.context_idx]  # (B, d)
+    c_neg = v_out[batch.negative_idx]  # (B, K, d)
+
+    pos_score = _sigmoid(np.einsum("bd,bd->b", c_in, c_pos))
+    neg_score = _sigmoid(np.einsum("bkd,bd->bk", c_neg, c_in))
+
+    g_pos = (pos_score - 1.0)[:, None]
+    grad_in_rows = g_pos * c_pos + np.einsum("bk,bkd->bd", neg_score, c_neg)
+    grad_pos_rows = g_pos * c_in
+    grad_neg_rows = neg_score[:, :, None] * c_in[:, None, :]
+
+    dimension = v_in.shape[1]
+    grad_in = np.zeros_like(v_in)
+    grad_out = np.zeros_like(v_out)
+    np.add.at(grad_in, batch.center_idx, grad_in_rows)
+    np.add.at(grad_out, batch.context_idx, grad_pos_rows)
+    np.add.at(
+        grad_out, batch.negative_idx.reshape(-1), grad_neg_rows.reshape(-1, dimension)
+    )
+
+    eps = 1e-10
+    loss = -np.mean(np.log(pos_score + eps)) - np.mean(
+        np.sum(np.log(1.0 - neg_score + eps), axis=1)
+    )
+    return grad_in, grad_out, float(loss)
+
+
 def sgns_sparse_gradients(
     w_in: np.ndarray,
     w_out: np.ndarray,
@@ -206,41 +329,14 @@ def sgns_sparse_gradients(
     Returns ``(grads_in, grads_out, loss)`` where each gradient dict maps a row
     index to its accumulated gradient.  This is the worker-side computation of
     the parameter-server training loop: the worker pulls the needed rows,
-    computes these gradients and pushes them back to the servers.
+    computes these gradients and pushes them back to the servers.  The heavy
+    lifting happens in :func:`sgns_sparse_step` on compacted row blocks.
     """
-    v_in = w_in[centers]
-    v_pos = w_out[contexts]
-    v_neg = w_out[negatives]
-
-    pos_score = _sigmoid(np.einsum("bd,bd->b", v_in, v_pos))
-    neg_score = _sigmoid(np.einsum("bkd,bd->bk", v_neg, v_in))
-
-    g_pos = (pos_score - 1.0)[:, None]
-    grad_in_rows = g_pos * v_pos + np.einsum("bk,bkd->bd", neg_score, v_neg)
-    grad_pos_rows = g_pos * v_in
-    grad_neg_rows = neg_score[:, :, None] * v_in[:, None, :]
-
-    grads_in: Dict[int, np.ndarray] = {}
-    grads_out: Dict[int, np.ndarray] = {}
-
-    def _accumulate(target: Dict[int, np.ndarray], rows: np.ndarray, grads: np.ndarray) -> None:
-        for row, grad in zip(rows.tolist(), grads):
-            existing = target.get(row)
-            if existing is None:
-                target[row] = grad.copy()
-            else:
-                existing += grad
-
-    _accumulate(grads_in, centers, grad_in_rows)
-    _accumulate(grads_out, contexts, grad_pos_rows)
-    dimension = w_in.shape[1]
-    _accumulate(grads_out, negatives.reshape(-1), grad_neg_rows.reshape(-1, dimension))
-
-    eps = 1e-10
-    loss = -np.mean(np.log(pos_score + eps)) - np.mean(
-        np.sum(np.log(1.0 - neg_score + eps), axis=1)
-    )
-    return grads_in, grads_out, float(loss)
+    batch = SparseBatch.from_pairs(centers, contexts, negatives)
+    grad_in, grad_out, loss = sgns_sparse_step(w_in[batch.rows_in], w_out[batch.rows_out], batch)
+    grads_in = {int(row): grad_in[i] for i, row in enumerate(batch.rows_in)}
+    grads_out = {int(row): grad_out[i] for i, row in enumerate(batch.rows_out)}
+    return grads_in, grads_out, loss
 
 
 class SkipGramTrainer:

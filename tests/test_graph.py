@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -128,6 +129,54 @@ class TestRandomWalks:
         parts = split_corpus(corpus, 3)
         assert sum(len(p) for p in parts) == 10
         assert len(parts) == 3
+
+    def test_iter_walk_batches_matches_iter_walks_seeded(self, network):
+        """Same seed ⇒ identical corpora from the streaming and flat APIs."""
+        config = RandomWalkConfig(walk_length=8, num_walks_per_node=2, seed=17)
+        flat = list(RandomWalker(network, config).iter_walks())
+        batched_walker = RandomWalker(network, config)
+        batched = [
+            walk
+            for batch in batched_walker.iter_walk_batches()
+            for walk in batched_walker.batch_to_walks(batch)
+        ]
+        assert flat == batched
+
+    def test_walk_batches_invariant_to_batch_size(self, network):
+        """The corpus must not depend on how the walks are chunked."""
+        corpora = []
+        for batch_size in (1, 7, 10_000):
+            config = RandomWalkConfig(
+                walk_length=6, num_walks_per_node=2, batch_size=batch_size, seed=23
+            )
+            corpora.append(list(RandomWalker(network, config).iter_walks()))
+        assert corpora[0] == corpora[1] == corpora[2]
+
+    def test_walk_batch_follows_edges_and_pads_after_termination(self):
+        network = TransactionNetwork()
+        network.add_edge("a", "b")
+        network.add_edge("b", "c")
+        network.add_edge("sink_payer", "sink")  # 'sink' only reachable, walkable back
+        walker = RandomWalker(network, RandomWalkConfig(walk_length=6, num_walks_per_node=1, seed=5))
+        starts = np.array([network.node_index(n) for n in ("a", "b", "sink")])
+        batch = walker.walk_batch(starts)
+        assert batch.shape == (3, 6)
+        assert (batch[:, 0] == starts).all()
+        for row in batch:
+            nodes = [walker.network.node_at(int(i)) for i in row if i >= 0]
+            for prev, cur in zip(nodes, nodes[1:]):
+                assert cur in network.neighbors(prev)
+            # padding is contiguous at the tail
+            padding = row < 0
+            assert not padding.any() or padding[np.argmax(padding) :].all()
+
+    def test_walk_batch_unweighted_mode(self, network):
+        config = RandomWalkConfig(walk_length=5, num_walks_per_node=1, weighted=False, seed=2)
+        walker = RandomWalker(network, config)
+        batch = walker.walk_batch(np.arange(min(20, network.num_nodes)))
+        for walk in walker.batch_to_walks(batch):
+            for prev, cur in zip(walk, walk[1:]):
+                assert cur in network.neighbors(prev)
 
 
 class TestGraphMetrics:

@@ -132,6 +132,43 @@ class TestRegionsAndWAL:
         client.put("titant_features", "u1", BASIC_FEATURES_FAMILY, {"age": 31}, version=2)
         assert client.get("titant_features", "u1", BASIC_FEATURES_FAMILY)["age"] == 31
 
+    def test_expired_rows_release_cache_capacity(self):
+        """Regression: an expired row must not keep occupying max_rows.
+
+        Before the fix, RowCache.get deleted the expired (column family,
+        version) sub-entry but left the empty row entry behind, so dead rows
+        counted against capacity and could evict live rows.
+        """
+        from repro.hbase.cache import RowCache
+
+        cache = RowCache(ttl_seconds=30.0, max_rows=2)
+        cache.put("t", "stale", "cf", None, {"v": 1}, now=0.0)
+        cache.put("t", "live", "cf", None, {"v": 2}, now=5.0)
+        # A hit moves 'stale' behind 'live' in the LRU order...
+        assert cache.get("t", "stale", "cf", None, now=29.0) is not None
+        # ...then it expires; the empty row entry must be dropped entirely.
+        assert cache.get("t", "stale", "cf", None, now=31.0) is None
+        assert len(cache) == 1
+        assert cache.stats()["rows"] == 1.0
+        # With capacity freed, inserting a new row must not evict the live one.
+        cache.put("t", "new", "cf", None, {"v": 3}, now=31.0)
+        assert cache.get("t", "live", "cf", None, now=33.0) is not None
+
+    def test_cache_full_of_expired_rows_keeps_live_rows(self):
+        from repro.hbase.cache import RowCache
+
+        cache = RowCache(ttl_seconds=10.0, max_rows=4)
+        for i in range(4):
+            cache.put("t", f"stale{i}", "cf", None, {"v": i}, now=0.0)
+        # Touch every expired row: each lookup must free its slot.
+        for i in range(4):
+            assert cache.get("t", f"stale{i}", "cf", None, now=20.0) is None
+        assert len(cache) == 0
+        for i in range(4):
+            cache.put("t", f"live{i}", "cf", None, {"v": i}, now=20.0)
+        for i in range(4):
+            assert cache.get("t", f"live{i}", "cf", None, now=25.0) is not None
+
     def test_row_cache_disabled(self):
         client = HBaseClient(row_cache_ttl_s=0.0)
         client.create_feature_store()

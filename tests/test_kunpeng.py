@@ -5,8 +5,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.exceptions import ParameterServerError, WorkerFailureError
-from repro.graph.random_walk import RandomWalkConfig
+from repro.exceptions import EmbeddingError, ParameterServerError, WorkerFailureError
+from repro.graph.random_walk import RandomWalkConfig, RandomWalker
 from repro.kunpeng import (
     ClusterConfig,
     FailureInjector,
@@ -16,10 +16,15 @@ from repro.kunpeng import (
     estimate_deepwalk_time,
     estimate_gbdt_time,
 )
-from repro.kunpeng.cost_model import ClusterCostModel, scalability_curve
+from repro.kunpeng.cost_model import (
+    ClusterCostModel,
+    deepwalk_round_volume,
+    scalability_curve,
+)
 from repro.models.distributed import DistributedGBDT, DistributedLogisticRegression
 from repro.nrl.distributed import DistributedDeepWalk, DistributedDeepWalkConfig
-from repro.nrl.word2vec import SkipGramConfig
+from repro.nrl.embeddings import top1_neighbor_recall
+from repro.nrl.word2vec import SkipGramConfig, SkipGramTrainer
 
 
 class TestServerNode:
@@ -95,6 +100,47 @@ class TestCluster:
         with pytest.raises(ParameterServerError):
             cluster.create_parameter("w", np.zeros((4, 2)))
 
+    def test_pull_row_block_routes_across_shards(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=6))  # 3 servers
+        matrix = np.arange(24.0).reshape(12, 2)
+        cluster.create_parameter("emb", matrix)
+        rows = np.array([11, 0, 5, 0])  # out of order, duplicated, all shards
+        block = cluster.pull_row_block("emb", rows)
+        assert np.allclose(block, matrix[rows])
+
+    def test_push_row_block_applies_row_sparse_update(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=6))
+        cluster.create_parameter("emb", np.zeros((12, 2)))
+        rows = np.array([0, 6, 11])
+        grads = np.ones((3, 2))
+        cluster.push_row_block("emb", rows, grads, learning_rate=0.5)
+        updated = cluster.pull_matrix("emb")
+        assert np.allclose(updated[rows], -0.5)
+        untouched = np.setdiff1d(np.arange(12), rows)
+        assert np.allclose(updated[untouched], 0.0)
+
+    def test_unknown_rows_rejected_by_block_apis(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=4))
+        cluster.create_parameter("emb", np.zeros((8, 2)))
+        with pytest.raises(ParameterServerError):
+            cluster.pull_row_block("emb", np.array([99]))
+        with pytest.raises(ParameterServerError):
+            cluster.push_row_block("emb", np.array([99]), np.ones((1, 2)))
+
+    def test_per_round_accounting_excludes_out_of_round_traffic(self):
+        cluster = KunPengCluster(ClusterConfig(num_machines=4))
+        cluster.create_parameter("emb", np.zeros((8, 2)))
+        cluster.begin_round()
+        cluster.pull_row_block("emb", np.array([0, 1, 2]))
+        cluster.push_row_block("emb", np.array([0, 1, 2]), np.ones((3, 2)))
+        cluster.end_round()
+        cluster.pull_matrix("emb")  # checkpoint download, outside any round
+        assert cluster.values_per_round() == [6]
+        summary = cluster.workload_summary()
+        assert summary["rounds_recorded"] == 1.0
+        assert summary["values_per_round"] == 6.0
+        assert summary["values_transferred"] == 14.0
+
 
 class TestFailover:
     def test_injector_respects_probability_zero(self):
@@ -134,6 +180,22 @@ class TestCostModel:
         with pytest.raises(Exception):
             ClusterCostModel(compute_seconds_per_unit=-1.0).validate()
 
+    def test_round_volume_dense_vs_sparse(self):
+        dense = deepwalk_round_volume(10_000, 4, mode="dense")
+        sparse = deepwalk_round_volume(10_000, 4, mode="sparse", batch_pairs=256, negatives=5)
+        assert dense == 4.0 * 10_000 * 4
+        assert sparse == 2.0 * (256 + 256 * 6) * 4
+        assert sparse < dense
+        with pytest.raises(Exception):
+            deepwalk_round_volume(10, 2, mode="bogus")
+
+    def test_sparse_mode_estimate_cuts_communication(self):
+        dense = estimate_deepwalk_time(20)
+        sparse = estimate_deepwalk_time(20, mode="sparse")
+        assert sparse.communication_seconds < dense.communication_seconds
+        assert sparse.compute_seconds == pytest.approx(dense.compute_seconds)
+        assert sparse.total_seconds < dense.total_seconds
+
 
 class TestDistributedTraining:
     def test_distributed_deepwalk_produces_embeddings(self, network):
@@ -164,6 +226,129 @@ class TestDistributedTraining:
         model = DistributedDeepWalk(config).fit(network)
         assert model.failure_injector.total_failures > 0
         assert len(model.embeddings()) == network.num_nodes
+
+    def test_dense_mode_still_available(self, network):
+        config = DistributedDeepWalkConfig(
+            cluster=ClusterConfig(num_machines=4),
+            walk=RandomWalkConfig(walk_length=8, num_walks_per_node=2),
+            skipgram=SkipGramConfig(dimension=8, window=3, epochs=1, batch_size=512),
+            mode="dense",
+            rounds_per_epoch=2,
+            seed=0,
+        )
+        model = DistributedDeepWalk(config).fit(network)
+        assert len(model.embeddings()) == network.num_nodes
+        assert model.loss_history and np.isfinite(model.loss_history).all()
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(EmbeddingError):
+            DistributedDeepWalkConfig(mode="bogus").validate()
+
+    def test_sparse_transfers_fewer_values_per_round_than_dense(self, network):
+        summaries = {}
+        for mode in ("dense", "sparse"):
+            config = DistributedDeepWalkConfig(
+                cluster=ClusterConfig(num_machines=4),
+                walk=RandomWalkConfig(walk_length=10, num_walks_per_node=2),
+                skipgram=SkipGramConfig(
+                    dimension=8, window=3, epochs=1, batch_size=128, negatives=4
+                ),
+                mode=mode,
+                rounds_per_epoch=3,
+                seed=7,
+            )
+            model = DistributedDeepWalk(config).fit(network)
+            summaries[mode] = model.workload_summary()
+            assert summaries[mode]["rounds_recorded"] == model.rounds_completed
+        assert (
+            summaries["sparse"]["values_per_round"]
+            < summaries["dense"]["values_per_round"] / 2
+        )
+        # and the analytic round-volume model agrees on the direction
+        vocab_rows = int(network.num_nodes)
+        assert deepwalk_round_volume(
+            vocab_rows, 2, mode="sparse", batch_pairs=128, negatives=4
+        ) < deepwalk_round_volume(vocab_rows, 2, mode="dense")
+
+    def test_estimate_time_reflects_recorded_round_traffic(self, network):
+        config = DistributedDeepWalkConfig(
+            cluster=ClusterConfig(num_machines=4),
+            walk=RandomWalkConfig(walk_length=8, num_walks_per_node=2),
+            skipgram=SkipGramConfig(dimension=8, window=3, epochs=1, batch_size=64),
+            rounds_per_epoch=2,
+            seed=3,
+        )
+        model = DistributedDeepWalk(config).fit(network)
+        summary = model.workload_summary()
+        cost_model = ClusterCostModel()
+        estimate = model.estimate_time(cost_model)
+        expected = cost_model.estimate(
+            total_compute_units=summary["worker_compute_units"],
+            comm_values_per_round=summary["values_per_round"],
+            num_rounds=model.rounds_completed,
+            cluster=config.cluster,
+        )
+        assert estimate.communication_seconds == pytest.approx(expected.communication_seconds)
+        # the naive total/rounds quotient would include the checkpoint download
+        naive = summary["values_transferred"] / model.rounds_completed
+        assert summary["values_per_round"] < naive
+
+    def test_distributed_vocabulary_honors_min_count(self, network):
+        """Regression: the distributed path must prune exactly like the trainer."""
+        skipgram = SkipGramConfig(
+            dimension=8, window=3, epochs=1, batch_size=128, min_count=3
+        )
+        config = DistributedDeepWalkConfig(
+            cluster=ClusterConfig(num_machines=4),
+            walk=RandomWalkConfig(walk_length=8, num_walks_per_node=2),
+            skipgram=skipgram,
+            rounds_per_epoch=1,
+            seed=5,
+        )
+        model = DistributedDeepWalk(config).fit(network)
+        # replay the identical walk stream and push it through the
+        # single-machine path
+        walker = RandomWalker(network, config.walk, rng=np.random.default_rng(model.walk_seed))
+        corpus = walker.generate()
+        trainer = SkipGramTrainer(skipgram)
+        trainer.fit(corpus)
+        assert trainer.vocabulary is not None
+        distributed_counts = dict(
+            zip(model.vocabulary_.tokens(), model.vocabulary_.counts().tolist())
+        )
+        trainer_counts = dict(
+            zip(trainer.vocabulary.tokens(), trainer.vocabulary.counts().tolist())
+        )
+        assert distributed_counts == trainer_counts
+        # min_count must actually have pruned something for this to be a test
+        assert len(model.vocabulary_) < network.num_nodes
+
+    def test_sparse_recall_matches_dense_on_fraud_network(self, world, network):
+        """Sparse pull/push must not cost embedding quality vs model averaging."""
+        communities = {
+            node: world.profiles_by_id[node].community
+            for node in network.nodes()
+            if node in world.profiles_by_id
+        }
+        recalls = {}
+        for mode in ("dense", "sparse"):
+            config = DistributedDeepWalkConfig(
+                cluster=ClusterConfig(num_machines=4),
+                walk=RandomWalkConfig(walk_length=20, num_walks_per_node=3, batch_size=64),
+                skipgram=SkipGramConfig(
+                    dimension=16, window=4, epochs=8, batch_size=1024, negatives=4
+                ),
+                mode=mode,
+                rounds_per_epoch=100,
+                seed=2,
+            )
+            model = DistributedDeepWalk(config).fit(network)
+            assert np.isfinite(model.loss_history).all()
+            recalls[mode] = top1_neighbor_recall(model.embeddings(), communities)
+        # both modes must capture community structure far beyond the 1/8 chance
+        # level of the fixture's 8 communities
+        assert min(recalls.values()) > 0.7
+        assert recalls["sparse"] >= recalls["dense"] - 0.05
 
     def test_distributed_lr_matches_single_machine_quality(self, small_classification_data):
         features, labels = small_classification_data

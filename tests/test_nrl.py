@@ -21,11 +21,15 @@ from repro.nrl.structure2vec import (
 from repro.nrl.word2vec import (
     SkipGramConfig,
     SkipGramTrainer,
+    SparseBatch,
     build_negative_table,
     build_vocabulary,
+    encode_walk_batch,
     generate_skipgram_pairs,
+    generate_skipgram_pairs_batch,
     sgns_batch_update,
     sgns_sparse_gradients,
+    sgns_sparse_step,
 )
 
 
@@ -131,6 +135,46 @@ class TestWord2Vec:
             sparse_out[row] -= 0.5 * grad
         assert np.allclose(sparse_in, dense_in)
         assert np.allclose(sparse_out, dense_out)
+
+    def test_batch_pair_generation_matches_per_sentence(self):
+        """Padded-matrix pair generation covers the same pair multiset."""
+        sentences = [np.array([0, 1, 2, 3]), np.array([4, 5]), np.array([6])]
+        centers, contexts = generate_skipgram_pairs(sentences, window=2)
+        padded = np.full((3, 4), -1, dtype=np.int64)
+        for row, sentence in enumerate(sentences):
+            padded[row, : sentence.shape[0]] = sentence
+        batch_centers, batch_contexts = generate_skipgram_pairs_batch(padded, window=2)
+        expected = sorted(zip(centers.tolist(), contexts.tolist()))
+        actual = sorted(zip(batch_centers.tolist(), batch_contexts.tolist()))
+        assert expected == actual
+
+    def test_encode_walk_batch_compacts_pruned_tokens(self):
+        # node 1 is pruned (maps to -1); distances must be measured in the
+        # compacted sequence, exactly like Vocabulary.encode + pair generation.
+        node_to_token = np.array([0, -1, 1, 2], dtype=np.int64)
+        batch = np.array([[0, 1, 2, 3], [1, 1, 0, -1]], dtype=np.int64)
+        encoded = encode_walk_batch(batch, node_to_token)
+        assert encoded.tolist() == [[0, 1, 2, -1], [0, -1, -1, -1]]
+
+    def test_sparse_step_matches_dense_update(self):
+        rng = np.random.default_rng(5)
+        w_in = rng.normal(scale=0.1, size=(12, 4))
+        w_out = rng.normal(scale=0.1, size=(12, 4))
+        centers = rng.integers(0, 12, size=64)
+        contexts = rng.integers(0, 12, size=64)
+        negatives = rng.integers(0, 12, size=(64, 3))
+        dense_in, dense_out = w_in.copy(), w_out.copy()
+        dense_loss = sgns_batch_update(dense_in, dense_out, centers, contexts, negatives, 0.3)
+        batch = SparseBatch.from_pairs(centers, contexts, negatives)
+        grad_in, grad_out, sparse_loss = sgns_sparse_step(
+            w_in[batch.rows_in], w_out[batch.rows_out], batch
+        )
+        sparse_in, sparse_out = w_in.copy(), w_out.copy()
+        sparse_in[batch.rows_in] -= 0.3 * grad_in
+        sparse_out[batch.rows_out] -= 0.3 * grad_out
+        assert np.allclose(sparse_in, dense_in)
+        assert np.allclose(sparse_out, dense_out)
+        assert sparse_loss == pytest.approx(dense_loss)
 
     def test_trainer_produces_embeddings_for_all_tokens(self):
         corpus = [[f"n{i}", f"n{i+1}", f"n{i+2}"] for i in range(10)]
