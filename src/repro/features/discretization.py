@@ -70,13 +70,27 @@ class EqualWidthBinner(_BaseBinner):
         return np.linspace(low, high, self.num_bins + 1)[1:-1]
 
 
+def quantile_edges(values: np.ndarray, num_bins: int) -> np.ndarray:
+    """Deduplicated quantile cut points splitting ``values`` into ``num_bins``.
+
+    Shared by :class:`QuantileBinner` and the GBDT histogram binner
+    (:class:`repro.models.tree.histogram.HistogramBinner`), so the offline
+    discretiser and the boosting engine agree on bin boundaries.
+    """
+    if num_bins < 2:
+        raise FeatureError("num_bins must be at least 2")
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise FeatureError("cannot compute bin edges of an empty column")
+    quantiles = np.linspace(0.0, 1.0, num_bins + 1)[1:-1]
+    return np.unique(np.quantile(values, quantiles))
+
+
 class QuantileBinner(_BaseBinner):
     """Equal-frequency bins (quantile cut points); robust to heavy tails."""
 
     def _compute_edges(self, values: np.ndarray) -> np.ndarray:
-        quantiles = np.linspace(0.0, 1.0, self.num_bins + 1)[1:-1]
-        edges = np.quantile(values, quantiles)
-        return np.unique(edges)
+        return quantile_edges(values, self.num_bins)
 
 
 BinnerKind = Literal["quantile", "equal_width"]

@@ -28,6 +28,7 @@ from repro.kunpeng.cost_model import (
     deepwalk_round_volume,
     estimate_deepwalk_time,
     estimate_gbdt_time,
+    gbdt_round_volume,
 )
 from repro.kunpeng.failover import FailureInjector
 
@@ -41,5 +42,6 @@ __all__ = [
     "deepwalk_round_volume",
     "estimate_deepwalk_time",
     "estimate_gbdt_time",
+    "gbdt_round_volume",
     "FailureInjector",
 ]

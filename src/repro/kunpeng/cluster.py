@@ -198,6 +198,30 @@ class KunPengCluster:
         if matched != rows.shape[0]:
             raise ParameterServerError(f"some pushed rows of {name!r} have no owning server")
 
+    def accumulate_row_block(self, name: str, rows: np.ndarray, values: np.ndarray) -> None:
+        """Vectorised sparse accumulate: ``parameter[rows] += values``.
+
+        The additive counterpart of :meth:`push_row_block`, used for
+        histogram aggregation: every worker pushes its local (gradient,
+        hessian, count) histogram rows and the servers sum them, so the
+        driver pulls one merged histogram instead of per-row statistics.
+        Traffic is recorded exactly like a gradient push.
+        """
+        self.push_row_block(name, rows, -np.asarray(values, dtype=np.float64))
+
+    def reset_parameter(self, name: str) -> None:
+        """Zero a hosted parameter on every owning server (no traffic).
+
+        Accumulator parameters (per-level GBDT histograms) are cleared
+        between aggregation windows with a server-local memset rather than a
+        full-matrix push, matching how a real PS would reuse a scratch
+        buffer.
+        """
+        if name not in self._placements:
+            raise ParameterServerError(f"unknown parameter {name!r}")
+        for _row_start, _row_end, server_index in self._placements[name]:
+            self.servers[server_index].reset_shard(name)
+
     def pull_matrix(self, name: str) -> np.ndarray:
         """Reassemble the full parameter matrix (checkpoint / final download)."""
         if name not in self._placements:

@@ -143,6 +143,14 @@ class ParameterServerNode:
             raise ParameterServerError("pushed gradient block shape does not match rows")
         np.subtract.at(shard.values, rows - shard.row_start, learning_rate * gradients)
 
+    def reset_shard(self, name: str) -> None:
+        """Zero the shard in place (server-local; no worker traffic involved).
+
+        Used by accumulator-style parameters (GBDT gradient histograms) that
+        are summed afresh each aggregation window.
+        """
+        self._get(name).values.fill(0.0)
+
     def push_average(self, name: str, replicas: List[np.ndarray]) -> None:
         """Model averaging: replace the shard with the mean of worker replicas.
 

@@ -16,16 +16,22 @@ evaluation layer treats GBDT exactly like every other detector.
 
 from __future__ import annotations
 
-from typing import List, Literal, Optional
+from typing import List, Literal, Optional, Union
 
 import numpy as np
 
 from repro.exceptions import ModelError
 from repro.models.base import BaseDetector, validate_training_inputs
 from repro.models.tree.cart import RegressionTree
+from repro.models.tree.histogram import HistogramBinner, HistogramTree, HistogramTreeBuilder
 from repro.rng import SeedLike, ensure_rng
 
 Objective = Literal["logistic", "squared"]
+TreeMethod = Literal["hist", "exact"]
+
+#: Weak learners produced by the two tree methods; both expose ``predict``
+#: (raw features) and ``tree_`` (the underlying :class:`TreeNode`).
+BoostedTree = Union[RegressionTree, HistogramTree]
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -50,6 +56,13 @@ class GradientBoostingClassifier(BaseDetector):
         as stated in the paper).
     class_weight:
         ``"balanced"`` up-weights fraud rows by the inverse class frequency.
+    tree_method:
+        ``"hist"`` (default) bins the training matrix once with
+        :class:`~repro.models.tree.histogram.HistogramBinner` and grows trees
+        from gradient/hessian histograms; ``"exact"`` keeps the sorted split
+        search of :class:`~repro.models.tree.cart.RegressionTree`.
+    num_bins:
+        Histogram resolution of the ``"hist"`` method (ignored by ``"exact"``).
     """
 
     name = "gbdt"
@@ -66,6 +79,8 @@ class GradientBoostingClassifier(BaseDetector):
         reg_lambda: float = 1.0,
         objective: Objective = "logistic",
         class_weight: Optional[str] = "balanced",
+        tree_method: TreeMethod = "hist",
+        num_bins: int = 64,
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
@@ -79,10 +94,18 @@ class GradientBoostingClassifier(BaseDetector):
             raise ModelError("subsample_rows must be in (0, 1]")
         if not 0.0 < subsample_features <= 1.0:
             raise ModelError("subsample_features must be in (0, 1]")
+        if min_samples_leaf < 1:
+            raise ModelError("min_samples_leaf must be at least 1")
+        if reg_lambda < 0.0:
+            raise ModelError("reg_lambda must be non-negative")
         if objective not in ("logistic", "squared"):
             raise ModelError(f"unknown objective {objective!r}")
         if class_weight not in (None, "balanced"):
             raise ModelError("class_weight must be None or 'balanced'")
+        if tree_method not in ("hist", "exact"):
+            raise ModelError(f"unknown tree_method {tree_method!r}")
+        if not 2 <= num_bins <= 65536:
+            raise ModelError("num_bins must be in [2, 65536]")
         self.num_trees = num_trees
         self.max_depth = max_depth
         self.learning_rate = learning_rate
@@ -92,9 +115,12 @@ class GradientBoostingClassifier(BaseDetector):
         self.reg_lambda = reg_lambda
         self.objective = objective
         self.class_weight = class_weight
+        self.tree_method = tree_method
+        self.num_bins = num_bins
         self.seed = seed
         self._rng = ensure_rng(seed)
-        self._trees: List[RegressionTree] = []
+        self._trees: List[BoostedTree] = []
+        self._binner: Optional[HistogramBinner] = None
         self._initial_score: float = 0.0
         self.train_loss_: List[float] = []
 
@@ -114,24 +140,46 @@ class GradientBoostingClassifier(BaseDetector):
         rows_per_tree = max(2 * self.min_samples_leaf, int(round(self.subsample_rows * num_rows)))
         features_per_tree = max(1, int(round(self.subsample_features * num_features)))
 
+        binned: Optional[np.ndarray] = None
+        if self.tree_method == "hist":
+            # Bin the full matrix once; every tree after this touches only
+            # the compact integer matrix.
+            self._binner = HistogramBinner(num_bins=self.num_bins).fit(features)
+            binned = self._binner.transform(features)
+
         for _ in range(self.num_trees):
             gradients, hessians = self._gradients(labels, scores, weights)
             row_indices = self._rng.choice(num_rows, size=min(rows_per_tree, num_rows), replace=False)
             feature_indices = self._rng.choice(
                 num_features, size=features_per_tree, replace=False
             )
-            tree = RegressionTree(
-                max_depth=self.max_depth,
-                min_samples_leaf=self.min_samples_leaf,
-                reg_lambda=self.reg_lambda,
-                feature_indices=feature_indices,
-            )
-            tree.fit(
-                features[row_indices],
-                gradients[row_indices],
-                hessians[row_indices],
-            )
-            update = tree.predict(features)
+            tree: BoostedTree
+            if binned is not None:
+                assert self._binner is not None
+                builder = HistogramTreeBuilder(
+                    self._binner,
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    reg_lambda=self.reg_lambda,
+                    feature_indices=feature_indices,
+                )
+                tree = builder.build(
+                    binned[row_indices], gradients[row_indices], hessians[row_indices]
+                )
+                update = tree.predict_binned(binned)
+            else:
+                tree = RegressionTree(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=self.min_samples_leaf,
+                    reg_lambda=self.reg_lambda,
+                    feature_indices=feature_indices,
+                )
+                tree.fit(
+                    features[row_indices],
+                    gradients[row_indices],
+                    hessians[row_indices],
+                )
+                update = tree.predict(features)
             scores += self.learning_rate * update
             self._trees.append(tree)
             self.train_loss_.append(self._loss(labels, scores, weights))
@@ -140,7 +188,8 @@ class GradientBoostingClassifier(BaseDetector):
         return self
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        features = self._check_predict_inputs(features)
+        # decision_function validates the inputs; validating here too would
+        # coerce and shape-check the matrix twice per call.
         scores = self.decision_function(features)
         if self.objective == "logistic":
             return _sigmoid(scores)
@@ -149,6 +198,10 @@ class GradientBoostingClassifier(BaseDetector):
     def decision_function(self, features: np.ndarray) -> np.ndarray:
         """Raw additive score before the probability mapping."""
         features = self._check_predict_inputs(features)
+        return self._accumulate_scores(features)
+
+    def _accumulate_scores(self, features: np.ndarray) -> np.ndarray:
+        """Sum the ensemble over an already-validated feature matrix."""
         scores = np.full(features.shape[0], self._initial_score)
         for tree in self._trees:
             scores += self.learning_rate * tree.predict(features)

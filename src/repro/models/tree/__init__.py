@@ -9,7 +9,9 @@ regression trees:
 * :mod:`repro.models.tree.id3` — ID3 with multiway categorical splits,
 * :mod:`repro.models.tree.c45` — C4.5/C5.0-style trees (gain ratio, binary
   threshold splits on continuous attributes, pessimistic pruning),
-* :mod:`repro.models.tree.cart` — regression trees used as GBDT weak learners.
+* :mod:`repro.models.tree.cart` — regression trees used as GBDT weak learners,
+* :mod:`repro.models.tree.histogram` — quantile binning and histogram-based
+  tree growth (GBDT's ``tree_method="hist"`` fast path).
 """
 
 from repro.models.tree.node import TreeNode
@@ -20,10 +22,17 @@ from repro.models.tree.splitter import (
     gain_ratio,
     best_numeric_split,
     best_categorical_split,
+    best_histogram_split,
 )
 from repro.models.tree.id3 import ID3Classifier
 from repro.models.tree.c45 import C45Classifier
 from repro.models.tree.cart import RegressionTree
+from repro.models.tree.histogram import (
+    HistogramBinner,
+    HistogramTree,
+    HistogramTreeBuilder,
+    build_histograms,
+)
 
 __all__ = [
     "TreeNode",
@@ -33,7 +42,12 @@ __all__ = [
     "gain_ratio",
     "best_numeric_split",
     "best_categorical_split",
+    "best_histogram_split",
     "ID3Classifier",
     "C45Classifier",
     "RegressionTree",
+    "HistogramBinner",
+    "HistogramTree",
+    "HistogramTreeBuilder",
+    "build_histograms",
 ]

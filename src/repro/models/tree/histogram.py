@@ -1,0 +1,404 @@
+"""Histogram-binned regression-tree growth — the fast path inside GBDT.
+
+Exact split search sorts every node's rows for every candidate feature, so
+fitting 400 boosted trees rescans the raw matrix thousands of times.  The
+histogram engine follows the design of production boosted-tree systems
+(XGBoost/LightGBM and the paper's KunPeng training platform):
+
+* :class:`HistogramBinner` quantile-bins the full training matrix **once**
+  into compact ``uint8``/``uint16`` bin indices (reusing the same quantile
+  cut points as :func:`repro.features.discretization.quantile_edges`),
+* :func:`build_histograms` accumulates per-node (gradient, hessian, count)
+  histograms with a single ``np.bincount`` sweep per statistic,
+* :class:`HistogramTreeBuilder` grows a depth-limited tree level by level,
+  scanning bin boundaries with prefix sums
+  (:func:`repro.models.tree.splitter.best_histogram_split`).
+
+Because a node's histogram is a fixed ``features x bins`` block regardless of
+how many rows it holds, the distributed driver can aggregate worker-local
+histograms through the parameter servers with communication volume
+independent of the row count — see :class:`repro.models.distributed.DistributedGBDT`.
+
+The produced trees carry both a raw-feature ``threshold`` (so serving-time
+prediction sees ordinary :class:`~repro.models.tree.node.TreeNode` trees) and
+the originating ``bin_threshold`` (so the boosting loop can route pre-binned
+rows without touching floats).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ModelError, NotFittedError
+from repro.features.discretization import quantile_edges
+from repro.models.tree.node import TreeNode
+from repro.models.tree.splitter import best_histogram_split
+
+
+class HistogramBinner:
+    """Per-column quantile binning of a training matrix into bin indices.
+
+    Parameters
+    ----------
+    num_bins:
+        Maximum bins per feature.  Columns with fewer distinct values use
+        fewer bins (duplicate quantile edges collapse, exactly as in
+        :class:`~repro.features.discretization.QuantileBinner`).
+    """
+
+    def __init__(self, *, num_bins: int = 64) -> None:
+        if not 2 <= num_bins <= 65536:
+            raise ModelError("num_bins must be in [2, 65536]")
+        self.num_bins = num_bins
+        self.edges_: Optional[List[np.ndarray]] = None
+
+    # ------------------------------------------------------------------
+    def fit(self, features: np.ndarray) -> "HistogramBinner":
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ModelError("features must be a 2-dimensional array")
+        if features.shape[0] == 0:
+            raise ModelError("cannot fit a binner on an empty matrix")
+        self.edges_ = [
+            quantile_edges(features[:, column], self.num_bins)
+            for column in range(features.shape[1])
+        ]
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Bin a matrix into ``uint8``/``uint16`` bin indices, column by column."""
+        if self.edges_ is None:
+            raise NotFittedError("HistogramBinner must be fitted before transform")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != len(self.edges_):
+            raise ModelError(
+                f"expected a 2-d matrix with {len(self.edges_)} columns to bin"
+            )
+        dtype = np.uint8 if self.num_bins <= 256 else np.uint16
+        binned = np.empty(features.shape, dtype=dtype)
+        for column, edges in enumerate(self.edges_):
+            bins = np.searchsorted(edges, features[:, column], side="right")
+            binned[:, column] = np.clip(bins, 0, self.num_bins - 1)
+        return binned
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        return self.fit(features).transform(features)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_features(self) -> int:
+        if self.edges_ is None:
+            raise NotFittedError("HistogramBinner must be fitted first")
+        return len(self.edges_)
+
+    def threshold(self, feature_index: int, bin_index: int) -> float:
+        """Raw-feature threshold equivalent to the binned split ``bin <= bin_index``.
+
+        ``transform`` sends ``value`` to a bin ``<= bin_index`` exactly when
+        ``value < edges[bin_index]``; tree traversal tests ``value <=
+        threshold``, so the threshold is the largest float *below* that edge.
+        """
+        if self.edges_ is None:
+            raise NotFittedError("HistogramBinner must be fitted first")
+        edges = self.edges_[feature_index]
+        if not 0 <= bin_index < edges.shape[0]:
+            raise ModelError(
+                f"bin {bin_index} of feature {feature_index} has no upper edge"
+            )
+        return float(np.nextafter(edges[bin_index], -np.inf))
+
+
+# ---------------------------------------------------------------------------
+# Histogram accumulation
+# ---------------------------------------------------------------------------
+
+
+def build_histograms(
+    binned: np.ndarray,
+    gradients: np.ndarray,
+    hessians: np.ndarray,
+    *,
+    num_bins: int,
+    node_ids: Optional[np.ndarray] = None,
+    num_nodes: int = 1,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-node (gradient, hessian, count) histograms of a binned matrix.
+
+    Returns three ``(num_nodes, num_features, num_bins)`` arrays accumulated
+    with one ``np.bincount`` sweep per statistic.  ``node_ids`` assigns each
+    row to a node slot (all rows to slot 0 when omitted).  Addition is the
+    only operation, so histograms over disjoint row partitions merge by
+    summation — the property the distributed driver relies on when workers
+    push local histograms to the parameter servers.
+    """
+    binned = np.asarray(binned)
+    if binned.ndim != 2:
+        raise ModelError("binned matrix must be 2-dimensional")
+    num_rows, num_features = binned.shape
+    gradients = np.asarray(gradients, dtype=np.float64).ravel()
+    hessians = np.asarray(hessians, dtype=np.float64).ravel()
+    if gradients.shape[0] != num_rows or hessians.shape[0] != num_rows:
+        raise ModelError("gradients/hessians length does not match the binned rows")
+    if node_ids is None:
+        node_ids = np.zeros(num_rows, dtype=np.int64)
+    else:
+        node_ids = np.asarray(node_ids, dtype=np.int64).ravel()
+        if node_ids.shape[0] != num_rows:
+            raise ModelError("node_ids length does not match the binned rows")
+    size = num_nodes * num_features * num_bins
+    shape = (num_nodes, num_features, num_bins)
+    if num_rows == 0:
+        zeros = np.zeros(shape)
+        return zeros, zeros.copy(), zeros.copy()
+    # Flat (node, feature, bin) index per matrix cell, row-major over features.
+    flat = (
+        node_ids[:, None] * (num_features * num_bins)
+        + np.arange(num_features, dtype=np.int64)[None, :] * num_bins
+        + binned.astype(np.int64)
+    ).ravel()
+    grad_hist = np.bincount(flat, weights=np.repeat(gradients, num_features), minlength=size)
+    hess_hist = np.bincount(flat, weights=np.repeat(hessians, num_features), minlength=size)
+    count_hist = np.bincount(flat, minlength=size).astype(np.float64)
+    return grad_hist.reshape(shape), hess_hist.reshape(shape), count_hist.reshape(shape)
+
+
+# ---------------------------------------------------------------------------
+# Vectorised traversal
+# ---------------------------------------------------------------------------
+
+
+def _fill_predictions(
+    node: TreeNode, matrix: np.ndarray, indices: np.ndarray, out: np.ndarray, *, binned: bool
+) -> None:
+    if node.is_leaf:
+        out[indices] = node.value
+        return
+    assert node.left is not None and node.right is not None
+    if binned:
+        goes_left = matrix[indices, node.feature_index] <= node.bin_threshold
+    else:
+        goes_left = matrix[indices, node.feature_index] <= node.threshold
+    _fill_predictions(node.left, matrix, indices[goes_left], out, binned=binned)
+    _fill_predictions(node.right, matrix, indices[~goes_left], out, binned=binned)
+
+
+@dataclass
+class _GrowingNode:
+    """Bookkeeping for one node still eligible for splitting."""
+
+    node: TreeNode
+    gradient: float
+    hessian: float
+    count: int
+
+
+def realize_split(
+    node: TreeNode,
+    split,
+    feature_index: int,
+    binner: HistogramBinner,
+    *,
+    reg_lambda: float,
+) -> Tuple[TreeNode, TreeNode]:
+    """Turn a leaf ``node`` into the internal node described by ``split``.
+
+    Shared by the local :class:`HistogramTreeBuilder` and the distributed
+    driver (:class:`repro.models.distributed.DistributedGBDT`) so the growth
+    rules — Newton leaf values and the bin→raw threshold mapping — exist in
+    exactly one place.  Returns the created ``(left, right)`` children.
+    """
+    node.is_leaf = False
+    node.feature_index = int(feature_index)
+    node.bin_threshold = int(split.bin_index)
+    node.threshold = binner.threshold(int(feature_index), split.bin_index)
+    left_value = split.left_gradient / (split.left_hessian + reg_lambda)
+    right_value = split.right_gradient / (split.right_hessian + reg_lambda)
+    node.left = TreeNode(
+        is_leaf=True,
+        value=left_value,
+        num_samples=split.left_count,
+        fallback_value=left_value,
+    )
+    node.right = TreeNode(
+        is_leaf=True,
+        value=right_value,
+        num_samples=split.right_count,
+        fallback_value=right_value,
+    )
+    return node.left, node.right
+
+
+class HistogramTree:
+    """A fitted histogram tree: raw-feature and binned-matrix prediction."""
+
+    def __init__(self, root: TreeNode, *, feature_indices: Optional[np.ndarray] = None):
+        self._root = root
+        self.feature_indices = feature_indices
+
+    @property
+    def tree_(self) -> TreeNode:
+        return self._root
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Leaf values for raw (float) feature rows, vectorised."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(1, -1)
+        out = np.empty(features.shape[0], dtype=np.float64)
+        _fill_predictions(
+            self._root, features, np.arange(features.shape[0]), out, binned=False
+        )
+        return out
+
+    def predict_binned(self, binned: np.ndarray) -> np.ndarray:
+        """Leaf values for pre-binned rows — the boosting-loop hot path."""
+        binned = np.asarray(binned)
+        out = np.empty(binned.shape[0], dtype=np.float64)
+        _fill_predictions(self._root, binned, np.arange(binned.shape[0]), out, binned=True)
+        return out
+
+
+class HistogramTreeBuilder:
+    """Grow a depth-limited regression tree from a pre-binned matrix.
+
+    The builder mirrors :class:`~repro.models.tree.cart.RegressionTree`'s
+    growth rules (second-order gain, ``min_samples_leaf`` on both children,
+    strictly positive gain, candidate features scanned in the given order)
+    but replaces per-node sorting with level-wise histogram accumulation.
+    """
+
+    def __init__(
+        self,
+        binner: HistogramBinner,
+        *,
+        max_depth: int = 3,
+        min_samples_leaf: int = 5,
+        reg_lambda: float = 1.0,
+        feature_indices: Optional[np.ndarray] = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ModelError("max_depth must be at least 1")
+        if min_samples_leaf < 1:
+            raise ModelError("min_samples_leaf must be at least 1")
+        self.binner = binner
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.reg_lambda = reg_lambda
+        self.feature_indices = feature_indices
+
+    # ------------------------------------------------------------------
+    def _leaf_value(self, gradient: float, hessian: float) -> float:
+        return gradient / (hessian + self.reg_lambda)
+
+    def build(
+        self,
+        binned: np.ndarray,
+        gradients: np.ndarray,
+        hessians: np.ndarray,
+    ) -> HistogramTree:
+        """Fit a tree to (negative) gradients over pre-binned rows."""
+        binned = np.asarray(binned)
+        gradients = np.asarray(gradients, dtype=np.float64).ravel()
+        hessians = np.asarray(hessians, dtype=np.float64).ravel()
+        if binned.ndim != 2 or binned.shape[0] != gradients.shape[0]:
+            raise ModelError("binned matrix and gradients disagree on the row count")
+        columns = (
+            np.asarray(self.feature_indices, dtype=np.int64)
+            if self.feature_indices is not None
+            else np.arange(binned.shape[1], dtype=np.int64)
+        )
+        sub = np.ascontiguousarray(binned[:, columns])
+        num_rows = sub.shape[0]
+        num_bins = self.binner.num_bins
+
+        value = self._leaf_value(float(gradients.sum()), float(hessians.sum()))
+        root = TreeNode(
+            is_leaf=True, value=value, num_samples=num_rows, fallback_value=value
+        )
+        active: List[_GrowingNode] = [
+            _GrowingNode(
+                node=root,
+                gradient=float(gradients.sum()),
+                hessian=float(hessians.sum()),
+                count=num_rows,
+            )
+        ]
+        node_ids = np.zeros(num_rows, dtype=np.int64)
+        live = np.ones(num_rows, dtype=bool)
+
+        for _depth in range(self.max_depth):
+            if not active:
+                break
+            grad_hist, hess_hist, count_hist = build_histograms(
+                sub[live],
+                gradients[live],
+                hessians[live],
+                num_bins=num_bins,
+                node_ids=node_ids[live],
+                num_nodes=len(active),
+            )
+            splits = []
+            for slot, growing in enumerate(active):
+                split = None
+                if growing.count >= 2 * self.min_samples_leaf:
+                    split = best_histogram_split(
+                        grad_hist[slot],
+                        hess_hist[slot],
+                        count_hist[slot],
+                        min_leaf=self.min_samples_leaf,
+                        reg_lambda=self.reg_lambda,
+                    )
+                splits.append(split)
+            active, node_ids, live = self._apply_splits(
+                active, splits, columns, sub, node_ids, live
+            )
+        return HistogramTree(root, feature_indices=self.feature_indices)
+
+    # ------------------------------------------------------------------
+    def _apply_splits(
+        self,
+        active: List[_GrowingNode],
+        splits: List[object],
+        columns: np.ndarray,
+        sub: np.ndarray,
+        node_ids: np.ndarray,
+        live: np.ndarray,
+    ) -> Tuple[List[_GrowingNode], np.ndarray, np.ndarray]:
+        """Realise the chosen splits and reassign rows to next-level slots."""
+        next_active: List[_GrowingNode] = []
+        new_ids = np.full(node_ids.shape[0], -1, dtype=np.int64)
+        for slot, (growing, split) in enumerate(zip(active, splits)):
+            if split is None:
+                continue  # the node stays a leaf; its rows retire
+            left, right = realize_split(
+                growing.node,
+                split,
+                int(columns[split.feature_slot]),
+                self.binner,
+                reg_lambda=self.reg_lambda,
+            )
+            rows = np.nonzero(live & (node_ids == slot))[0]
+            goes_left = sub[rows, split.feature_slot] <= split.bin_index
+            left_slot = len(next_active)
+            new_ids[rows[goes_left]] = left_slot
+            new_ids[rows[~goes_left]] = left_slot + 1
+            next_active.append(
+                _GrowingNode(
+                    node=left,
+                    gradient=split.left_gradient,
+                    hessian=split.left_hessian,
+                    count=split.left_count,
+                )
+            )
+            next_active.append(
+                _GrowingNode(
+                    node=right,
+                    gradient=split.right_gradient,
+                    hessian=split.right_hessian,
+                    count=split.right_count,
+                )
+            )
+        return next_active, new_ids, new_ids >= 0

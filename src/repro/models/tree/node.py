@@ -32,6 +32,11 @@ class TreeNode:
     left: Optional["TreeNode"] = None
     right: Optional["TreeNode"] = None
     children: Dict[float, "TreeNode"] = field(default_factory=dict)
+    #: For histogram-built trees: last bin index routed left (``bin <=
+    #: bin_threshold`` mirrors ``value <= threshold`` on the raw feature), so
+    #: the boosting loop can traverse pre-binned matrices without touching
+    #: the float features.
+    bin_threshold: Optional[int] = None
     #: Majority/fallback prediction used when a categorical value was never
     #: seen during training.
     fallback_value: float = 0.0

@@ -212,6 +212,94 @@ class RegressionSplit:
     right_count: int
 
 
+@dataclass
+class HistogramSplit:
+    """Best bin-boundary split of one node's feature histograms.
+
+    ``feature_slot`` indexes into the histogram's feature axis (the caller
+    maps it back to a global column), ``bin_index`` is the last bin routed to
+    the left child (``bin <= bin_index`` goes left).  The left/right gradient,
+    hessian and count sums are returned so tree builders can derive the child
+    totals without rescanning any rows.
+    """
+
+    feature_slot: int
+    bin_index: int
+    score: float
+    left_gradient: float
+    left_hessian: float
+    left_count: int
+    right_gradient: float
+    right_hessian: float
+    right_count: int
+
+
+def best_histogram_split(
+    grad_hist: np.ndarray,
+    hess_hist: np.ndarray,
+    count_hist: np.ndarray,
+    *,
+    min_leaf: int = 1,
+    reg_lambda: float = 1.0,
+) -> Optional[HistogramSplit]:
+    """Best bin-boundary split over ``(num_features, num_bins)`` histograms.
+
+    Scans every boundary of every feature with prefix sums and the same
+    second-order gain as :func:`best_regression_split`; the boundaries are the
+    at most ``num_bins - 1`` bin edges instead of the per-node sorted values,
+    which is what makes histogram tree growth independent of the row count.
+    Features are scanned in slot order and ties keep the first maximum, so a
+    histogram with one bin per distinct value reproduces the exact search.
+    """
+    grad_hist = np.asarray(grad_hist, dtype=np.float64)
+    hess_hist = np.asarray(hess_hist, dtype=np.float64)
+    count_hist = np.asarray(count_hist, dtype=np.float64)
+    if grad_hist.ndim != 2:
+        raise ModelError("histogram arrays must be 2-dimensional (features, bins)")
+    if grad_hist.shape != hess_hist.shape or grad_hist.shape != count_hist.shape:
+        raise ModelError("histogram arrays must share one (features, bins) shape")
+    num_bins = grad_hist.shape[1]
+    if num_bins < 2:
+        return None
+
+    # Left sums for a split "bin <= b", b in [0, num_bins - 2].
+    left_gradient = np.cumsum(grad_hist, axis=1)[:, :-1]
+    left_hessian = np.cumsum(hess_hist, axis=1)[:, :-1]
+    left_count = np.cumsum(count_hist, axis=1)[:, :-1]
+    total_gradient = left_gradient[:, -1] + grad_hist[:, -1]
+    total_hessian = left_hessian[:, -1] + hess_hist[:, -1]
+    total_count = left_count[:, -1] + count_hist[:, -1]
+    right_gradient = total_gradient[:, None] - left_gradient
+    right_hessian = total_hessian[:, None] - left_hessian
+    right_count = total_count[:, None] - left_count
+
+    valid = (left_count >= min_leaf) & (right_count >= min_leaf)
+    if not np.any(valid):
+        return None
+    parent_score = total_gradient**2 / (total_hessian + reg_lambda)
+    gains = (
+        left_gradient**2 / (left_hessian + reg_lambda)
+        + right_gradient**2 / (right_hessian + reg_lambda)
+        - parent_score[:, None]
+    )
+    gains = np.where(valid, gains, -np.inf)
+    best = int(np.argmax(gains))
+    feature_slot, bin_index = divmod(best, num_bins - 1)
+    if not np.isfinite(gains[feature_slot, bin_index]) or gains[feature_slot, bin_index] <= 1e-12:
+        return None
+    return HistogramSplit(
+        feature_slot=feature_slot,
+        bin_index=bin_index,
+        score=float(gains[feature_slot, bin_index]),
+        left_gradient=float(left_gradient[feature_slot, bin_index]),
+        left_hessian=float(left_hessian[feature_slot, bin_index]),
+        left_count=int(left_count[feature_slot, bin_index]),
+        right_gradient=float(right_gradient[feature_slot, bin_index]),
+        right_hessian=float(right_hessian[feature_slot, bin_index]),
+        right_count=int(right_count[feature_slot, bin_index]),
+    )
+
+
 def best_regression_split(
     values: np.ndarray,
     targets: np.ndarray,

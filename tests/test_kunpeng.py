@@ -19,9 +19,11 @@ from repro.kunpeng import (
 from repro.kunpeng.cost_model import (
     ClusterCostModel,
     deepwalk_round_volume,
+    gbdt_round_volume,
     scalability_curve,
 )
 from repro.models.distributed import DistributedGBDT, DistributedLogisticRegression
+from repro.models.gbdt import GradientBoostingClassifier
 from repro.nrl.distributed import DistributedDeepWalk, DistributedDeepWalkConfig
 from repro.nrl.embeddings import top1_neighbor_recall
 from repro.nrl.word2vec import SkipGramConfig, SkipGramTrainer
@@ -367,3 +369,176 @@ class TestDistributedTraining:
         accuracy = (model.predict(features) == labels).mean()
         assert accuracy > 0.8
         assert model.estimate_time().total_seconds > 0
+
+    def test_lr_estimate_time_uses_round_traffic(self, small_classification_data):
+        features, labels = small_classification_data
+        model = DistributedLogisticRegression(
+            cluster=ClusterConfig(num_machines=4), iterations=25, seed=0
+        ).fit(features, labels)
+        summary = model.cluster.workload_summary()
+        assert summary["rounds_recorded"] == model.stats.rounds
+        cost_model = ClusterCostModel()
+        estimate = model.estimate_time(cost_model)
+        expected = cost_model.estimate(
+            total_compute_units=summary["worker_compute_units"],
+            comm_values_per_round=summary["values_per_round"],
+            num_rounds=model.stats.rounds,
+            cluster=model.cluster_config,
+        )
+        assert estimate.communication_seconds == pytest.approx(expected.communication_seconds)
+        # The final weight download happens outside any round window, so the
+        # old lifetime-total / rounds quotient overstates the per-round volume.
+        naive = summary["values_transferred"] / model.stats.rounds
+        assert summary["values_per_round"] < naive
+
+
+class TestDistributedGBDTHistogram:
+    """The PR 3 tentpole: PS-side histogram aggregation and its guarantees."""
+
+    def test_hist_mode_matches_single_machine_quality(self, small_classification_data):
+        features, labels = small_classification_data
+        distributed = DistributedGBDT(
+            cluster=ClusterConfig(num_machines=4), num_trees=20, seed=0
+        ).fit(features, labels)
+        single = GradientBoostingClassifier(
+            num_trees=20, tree_method="hist", seed=0
+        ).fit(features, labels)
+        assert np.allclose(
+            distributed.predict_proba(features), single.predict_proba(features), atol=1e-8
+        )
+
+    def test_exact_mode_same_seed_matches_single_machine_exactly(
+        self, small_classification_data
+    ):
+        """Regression for the hyperparameter-parity fix: with the same seed
+        and hyperparameters, the exact-mode distributed driver must grow the
+        same trees as the single-machine trainer (it used to hardcode
+        ``min_samples_leaf=5`` and drop ``reg_lambda``)."""
+        features, labels = small_classification_data
+        kwargs = dict(
+            num_trees=12, min_samples_leaf=9, reg_lambda=2.5, seed=4, tree_method="exact"
+        )
+        distributed = DistributedGBDT(
+            cluster=ClusterConfig(num_machines=4), **kwargs
+        ).fit(features, labels)
+        single = GradientBoostingClassifier(**kwargs).fit(features, labels)
+        assert np.array_equal(
+            distributed.predict_proba(features), single.predict_proba(features)
+        )
+        # and the knobs actually reach the fitted weak learners
+        for tree in distributed._trees:
+            assert tree.min_samples_leaf == 9
+            assert tree.reg_lambda == 2.5
+
+    def test_constructor_knobs_match_single_machine(self):
+        distributed = DistributedGBDT(
+            num_trees=5, min_samples_leaf=7, reg_lambda=3.0, objective="squared",
+            class_weight=None, num_bins=32,
+        )
+        single = GradientBoostingClassifier(
+            num_trees=5, min_samples_leaf=7, reg_lambda=3.0, objective="squared",
+            class_weight=None, num_bins=32,
+        )
+        shared = (
+            "num_trees", "max_depth", "learning_rate", "subsample_rows",
+            "subsample_features", "min_samples_leaf", "reg_lambda", "objective",
+            "class_weight", "tree_method", "num_bins",
+        )
+        single_params = single.get_params()
+        distributed_params = distributed.get_params()
+        for key in shared:
+            assert distributed_params[key] == single_params[key]
+
+    def test_hist_round_volume_independent_of_row_count(self):
+        """The tentpole claim: per-round traffic scales with bins x features,
+        not with rows.  Tripling the dataset leaves the histogram volume
+        (essentially) unchanged while exact-mode traffic triples."""
+        rng = np.random.default_rng(5)
+        volumes = {"hist": {}, "exact": {}}
+        for num_rows in (1500, 4500):
+            features = rng.normal(size=(num_rows, 10))
+            labels = (features[:, 0] + features[:, 1] > 0).astype(float)
+            for method in ("hist", "exact"):
+                model = DistributedGBDT(
+                    cluster=ClusterConfig(num_machines=4),
+                    num_trees=5,
+                    tree_method=method,
+                    num_bins=16,
+                    seed=5,
+                ).fit(features, labels)
+                volumes[method][num_rows] = model.cluster.workload_summary()[
+                    "values_per_round"
+                ]
+        assert volumes["exact"][4500] > 2.5 * volumes["exact"][1500]
+        assert volumes["hist"][4500] < 1.3 * volumes["hist"][1500]
+        # and the measured volume stays within the analytic bins x features bound
+        features_per_tree = max(1, int(round(0.4 * 10)))
+        bound = gbdt_round_volume(
+            4500, features_per_tree, ClusterConfig(num_machines=4).num_workers,
+            mode="hist", num_bins=16, max_depth=3,
+        )
+        assert volumes["hist"][4500] <= bound
+
+    def test_hist_round_volume_scales_with_bins(self):
+        rng = np.random.default_rng(6)
+        features = rng.normal(size=(3000, 8))
+        labels = (features[:, 0] > 0).astype(float)
+        volumes = {}
+        for num_bins in (8, 32):
+            model = DistributedGBDT(
+                cluster=ClusterConfig(num_machines=4),
+                num_trees=4,
+                num_bins=num_bins,
+                seed=6,
+            ).fit(features, labels)
+            volumes[num_bins] = model.cluster.workload_summary()["values_per_round"]
+        assert volumes[32] > 2.0 * volumes[8]
+
+    def test_failure_recovery_is_exact(self, small_classification_data):
+        """Regression for the fabricated-statistics bug: rows owned by a dead
+        worker used to keep gradient 0 / hessian 1 for the round.  The driver
+        now recomputes them, so an exact-mode run under heavy failure
+        injection produces bit-identical trees to a failure-free run."""
+        features, labels = small_classification_data
+        kwargs = dict(
+            cluster=ClusterConfig(num_machines=6), num_trees=12, tree_method="exact"
+        )
+        clean = DistributedGBDT(seed=2, **kwargs).fit(features, labels)
+        faulty = DistributedGBDT(seed=2, failure_probability=0.4, **kwargs).fit(
+            features, labels
+        )
+        assert faulty.stats.worker_failures > 0
+        assert faulty.stats.dead_partition_recoveries > 0
+        assert faulty.stats.driver_recovered_rows > 0
+        assert np.array_equal(
+            clean.predict_proba(features), faulty.predict_proba(features)
+        )
+
+    def test_hist_mode_survives_failures(self, small_classification_data):
+        features, labels = small_classification_data
+        model = DistributedGBDT(
+            cluster=ClusterConfig(num_machines=6),
+            num_trees=15,
+            failure_probability=0.3,
+            seed=3,
+        ).fit(features, labels)
+        assert model.stats.worker_failures > 0
+        assert model.stats.dead_partition_recoveries > 0
+        assert (model.predict(features) == labels).mean() > 0.8
+        stats = model.stats.as_dict()
+        assert stats["driver_recovered_rows"] > 0
+
+    def test_gbdt_round_volume_model(self):
+        assert gbdt_round_volume(10_000, 20, 4, mode="exact") == 20_000.0
+        hist_small = gbdt_round_volume(10_000, 20, 4, mode="hist", num_bins=32)
+        hist_same = gbdt_round_volume(10_000_000, 20, 4, mode="hist", num_bins=32)
+        assert hist_small == hist_same  # row-count independent
+        assert gbdt_round_volume(1, 40, 4, mode="hist") == 2 * gbdt_round_volume(
+            1, 20, 4, mode="hist"
+        )
+        with pytest.raises(Exception):
+            gbdt_round_volume(10, 2, 2, mode="bogus")
+        exact = estimate_gbdt_time(20)
+        hist = estimate_gbdt_time(20, mode="hist")
+        assert hist.communication_seconds < exact.communication_seconds
+        assert hist.compute_seconds == pytest.approx(exact.compute_seconds)

@@ -11,9 +11,15 @@ from repro.exceptions import ModelError, NotFittedError
 from repro.models.rules import extract_rules
 from repro.models.tree.c45 import C45Classifier
 from repro.models.tree.cart import RegressionTree
+from repro.models.tree.histogram import (
+    HistogramBinner,
+    HistogramTreeBuilder,
+    build_histograms,
+)
 from repro.models.tree.id3 import ID3Classifier
 from repro.models.tree.splitter import (
     best_categorical_split,
+    best_histogram_split,
     best_numeric_split,
     best_regression_split,
     entropy,
@@ -162,6 +168,134 @@ class TestRegressionTree:
     def test_predict_before_fit(self):
         with pytest.raises(NotFittedError):
             RegressionTree().predict(np.ones((2, 2)))
+
+
+class TestHistogramBinner:
+    def test_binned_split_matches_raw_threshold(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=(500, 3))
+        binner = HistogramBinner(num_bins=16).fit(values)
+        binned = binner.transform(values)
+        for feature in range(3):
+            for bin_index in (0, 3, 7):
+                threshold = binner.threshold(feature, bin_index)
+                left_by_bin = binned[:, feature] <= bin_index
+                left_by_value = values[:, feature] <= threshold
+                assert np.array_equal(left_by_bin, left_by_value)
+
+    def test_dtype_follows_bin_count(self):
+        values = np.random.default_rng(1).normal(size=(50, 2))
+        assert HistogramBinner(num_bins=256).fit_transform(values).dtype == np.uint8
+        assert HistogramBinner(num_bins=300).fit_transform(values).dtype == np.uint16
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ModelError):
+            HistogramBinner(num_bins=1)
+        with pytest.raises(NotFittedError):
+            HistogramBinner(num_bins=8).transform(np.ones((2, 2)))
+        binner = HistogramBinner(num_bins=8).fit(np.random.default_rng(2).normal(size=(20, 2)))
+        with pytest.raises(ModelError):
+            binner.transform(np.ones((2, 3)))
+
+
+class TestHistogramTree:
+    def test_matches_exact_tree_on_integer_data(self):
+        """One bin per distinct value reproduces the exact sorted search."""
+        rng = np.random.default_rng(0)
+        features = rng.integers(0, 8, size=(120, 5)).astype(float)
+        gradients = rng.normal(size=120)
+        exact = RegressionTree(max_depth=3, min_samples_leaf=5).fit(features, gradients)
+        binner = HistogramBinner(num_bins=256).fit(features)
+        binned = binner.transform(features)
+        hist = HistogramTreeBuilder(binner, max_depth=3, min_samples_leaf=5).build(
+            binned, gradients, np.ones(120)
+        )
+        assert np.allclose(exact.predict(features), hist.predict(features))
+        assert np.allclose(hist.predict(features), hist.predict_binned(binned))
+
+    def test_depth_limit_and_feature_subset(self):
+        rng = np.random.default_rng(3)
+        features = rng.normal(size=(300, 4))
+        targets = features[:, 3] * 2.0 + rng.normal(size=300) * 0.1
+        binner = HistogramBinner(num_bins=32).fit(features)
+        binned = binner.transform(features)
+        tree = HistogramTreeBuilder(
+            binner, max_depth=2, feature_indices=np.array([0, 1])
+        ).build(binned, targets, np.ones(300))
+        assert tree.tree_.depth() <= 2
+
+        def _features_used(node, used):
+            if not node.is_leaf:
+                used.add(node.feature_index)
+                for child in node.iter_children():
+                    _features_used(child, used)
+            return used
+
+        assert _features_used(tree.tree_, set()) <= {0, 1}
+
+    def test_histogram_merge_associativity(self):
+        """Worker-local histograms merged by summation equal the global one."""
+        rng = np.random.default_rng(7)
+        features = rng.normal(size=(400, 6))
+        gradients = rng.normal(size=400)
+        hessians = rng.random(400) + 0.1
+        binner = HistogramBinner(num_bins=16).fit(features)
+        binned = binner.transform(features)
+        node_ids = rng.integers(0, 3, size=400)
+        whole = build_histograms(
+            binned, gradients, hessians, num_bins=16, node_ids=node_ids, num_nodes=3
+        )
+        # Any partition of the rows — contiguous, interleaved, unbalanced.
+        for partitions in (
+            [np.arange(0, 100), np.arange(100, 400)],
+            [np.arange(0, 400, 2), np.arange(1, 400, 2)],
+            [np.arange(0, 7), np.arange(7, 399), np.array([399])],
+        ):
+            merged = [np.zeros_like(part) for part in whole]
+            for rows in partitions:
+                local = build_histograms(
+                    binned[rows],
+                    gradients[rows],
+                    hessians[rows],
+                    num_bins=16,
+                    node_ids=node_ids[rows],
+                    num_nodes=3,
+                )
+                for target, piece in zip(merged, local):
+                    target += piece
+            for target, expected in zip(merged, whole):
+                assert np.allclose(target, expected)
+
+    def test_best_histogram_split_agrees_with_regression_split(self):
+        rng = np.random.default_rng(11)
+        values = rng.integers(0, 6, size=200).astype(float)
+        gradients = np.where(values > 2.5, 1.0, -1.0) + rng.normal(size=200) * 0.1
+        hessians = np.ones(200)
+        exact = best_regression_split(values, gradients, hessians=hessians, min_leaf=5)
+        binner = HistogramBinner(num_bins=64).fit(values.reshape(-1, 1))
+        binned = binner.transform(values.reshape(-1, 1))
+        grad_hist, hess_hist, count_hist = build_histograms(
+            binned, gradients, hessians, num_bins=64
+        )
+        hist = best_histogram_split(
+            grad_hist[0], hess_hist[0], count_hist[0], min_leaf=5
+        )
+        assert exact is not None and hist is not None
+        assert hist.score == pytest.approx(exact.score)
+        assert hist.left_count == exact.left_count
+        assert hist.right_count == exact.right_count
+
+    def test_best_histogram_split_rejects_bad_shapes(self):
+        with pytest.raises(ModelError):
+            best_histogram_split(np.ones(4), np.ones(4), np.ones(4))
+        with pytest.raises(ModelError):
+            best_histogram_split(np.ones((2, 4)), np.ones((2, 4)), np.ones((2, 5)))
+        # A constant feature (single populated bin) yields no split.
+        grad = np.zeros((1, 4))
+        grad[0, 1] = 3.0
+        count = np.zeros((1, 4))
+        count[0, 1] = 10.0
+        assert best_histogram_split(grad, count.copy(), count, min_leaf=1) is None
 
 
 class TestRuleExtraction:
