@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.core import ExperimentConfig, ExperimentRunner, ModelHyperparameters, ModelRegistry
 from repro.core.config import DetectorName, FeatureSetName, Table1Configuration
+from repro.features import AggregationConfig
 from repro.datagen import generate_world
 from repro.datagen.profiles import ProfileConfig
 from repro.datagen.transactions import WorldConfig
@@ -41,6 +42,9 @@ def main() -> None:
             network_days=25,
             train_days=7,
             hyperparameters=ModelHyperparameters.laptop_scale(),
+            # Sliding-window aggregation features: trained point-in-time and
+            # kept fresh online by the streaming feature updater.
+            aggregation=AggregationConfig(window_days=14),
         ),
     )
     dataset = runner.datasets()[0]
@@ -53,16 +57,20 @@ def main() -> None:
     print(f"   registered model: {registry.latest().describe()}")
 
     print("2. Publishing features/embeddings to Ali-HBase and loading the MS fleet ...")
-    hbase = HBaseClient(num_regions=4)
+    # Bound WAL retention: the streaming updater writes two aggregate rows
+    # per processed transfer, and a long-running front end would otherwise
+    # retain every entry (a real region server rotates its WALs the same way).
+    hbase = HBaseClient(num_regions=4, wal_max_entries=50_000)
     fleet = [ModelServer(hbase, ModelServerConfig(sla_budget_ms=50.0)) for _ in range(2)]
-    runner.pipeline.deploy_fleet(bundle, preparation, hbase, fleet)
+    updater = runner.pipeline.deploy_fleet(bundle, preparation, hbase, fleet)
     print(f"   exported feature plan  : {len(bundle.plan.feature_names)} features, "
-          f"blocks {bundle.plan.embedding_specs}, side {bundle.plan.embedding_side!r}")
+          f"blocks {bundle.plan.embedding_specs}, side {bundle.plan.embedding_side!r}, "
+          f"window {bundle.plan.aggregation}")
     print(f"   HBase rows written through the WAL: {hbase.wal_size()}")
     print(f"   region load report: {hbase.region_load_report()}")
 
     print("3. Online: replaying the test day in micro-batches through the fleet ...")
-    alipay = AlipayServer(fleet)
+    alipay = AlipayServer(fleet, feature_updater=updater)
     report = alipay.replay_transactions(dataset.test_transactions, batch_size=256)
     latency = alipay.latency_report()
     print(f"   transactions processed : {report.total}")

@@ -13,6 +13,7 @@ from enum import Enum
 from typing import Dict, List, Optional
 
 from repro.exceptions import ConfigurationError
+from repro.features.aggregation import AggregationConfig
 
 
 class FeatureSetName(str, Enum):
@@ -196,6 +197,9 @@ class ExperimentConfig:
     )
     #: Attach embeddings of the payer, payee or both transaction endpoints.
     embedding_side: str = "both"
+    #: Optional sliding-window aggregation features (window definition shared
+    #: by training matrices, the exported plan, and online streaming serving).
+    aggregation: Optional[AggregationConfig] = None
 
     def validate(self) -> None:
         if self.num_datasets < 1:
@@ -204,6 +208,8 @@ class ExperimentConfig:
             raise ConfigurationError("network_days and train_days must be positive")
         if self.embedding_side not in ("payer", "payee", "both"):
             raise ConfigurationError("embedding_side must be 'payer', 'payee' or 'both'")
+        if self.aggregation is not None:
+            self.aggregation.validate()
         self.hyperparameters.validate()
         numbers = [c.number for c in self.configurations]
         if len(set(numbers)) != len(numbers):

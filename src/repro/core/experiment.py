@@ -89,6 +89,7 @@ class ExperimentRunner:
             world.profiles_by_id,
             self.config.hyperparameters,
             embedding_side=self.config.embedding_side,
+            aggregation=self.config.aggregation,
         )
         self._preparations: Dict[int, SlicePreparation] = {}
 
@@ -180,7 +181,10 @@ class ExperimentRunner:
         Returns ``(bundle, hbase, servers, alipay)``: the trained bundle, the
         Ali-HBase store populated with per-user features and embeddings, the
         Model Server fleet with the model + exported FeaturePlan hot-loaded,
-        and an Alipay front end balancing across the fleet.
+        and an Alipay front end balancing across the fleet.  With sliding
+        window aggregation configured, the front end comes wired to the
+        pre-seeded streaming feature updater, so replayed transactions keep
+        the served aggregates fresh.
         """
         bundle = self.pipeline.train(preparation, configuration)
         hbase = HBaseClient()
@@ -188,8 +192,8 @@ class ExperimentRunner:
             ModelServer(hbase, ModelServerConfig(sla_budget_ms=sla_budget_ms))
             for _ in range(num_servers)
         ]
-        self.pipeline.deploy_fleet(bundle, preparation, hbase, servers)
-        return bundle, hbase, servers, AlipayServer(servers)
+        updater = self.pipeline.deploy_fleet(bundle, preparation, hbase, servers)
+        return bundle, hbase, servers, AlipayServer(servers, feature_updater=updater)
 
     # ------------------------------------------------------------------
     # Figure 9: rec@top 1 % per detection method

@@ -36,13 +36,27 @@ from repro.core.registry import ModelRegistry, ModelVersion
 from repro.datagen.datasets import DatasetSlice
 from repro.datagen.schema import UserProfile
 from repro.exceptions import ConfigurationError
+from repro.features.aggregation import (
+    SECONDS_PER_DAY,
+    AggregationConfig,
+    TransactionAggregator,
+)
 from repro.features.assembler import EmbeddingSide, FeatureAssembler
 from repro.features.basic import BasicFeatureExtractor
 from repro.features.matrix import FeatureMatrix
 from repro.features.plan import FeaturePlan
+from repro.features.streaming import (
+    PointInTimeAggregationSource,
+    SlidingWindowAggregator,
+)
 from repro.graph.builder import build_network
 from repro.graph.network import TransactionNetwork
-from repro.hbase.client import BASIC_FEATURES_FAMILY, EMBEDDINGS_FAMILY, HBaseClient
+from repro.hbase.client import (
+    AGGREGATES_FAMILY,
+    BASIC_FEATURES_FAMILY,
+    EMBEDDINGS_FAMILY,
+    HBaseClient,
+)
 from repro.logging_utils import get_logger
 from repro.maxcompute.client import MaxComputeClient
 from repro.maxcompute.mapreduce import transaction_edge_job
@@ -63,6 +77,7 @@ from repro.nrl.word2vec import SkipGramConfig
 from repro.graph.random_walk import RandomWalkConfig
 from repro.rng import derive_seed
 from repro.serving.model_server import ModelServer
+from repro.serving.streaming import StreamingFeatureUpdater
 
 logger = get_logger("core.pipeline")
 
@@ -105,6 +120,12 @@ class SlicePreparation:
     dataset: DatasetSlice
     network: TransactionNetwork
     embeddings: Dict[str, EmbeddingSet] = field(default_factory=dict)
+    #: Batch sliding-window aggregator fitted on the slice history (lazily
+    #: built when the pipeline has an aggregation window configured).
+    aggregator: Optional[TransactionAggregator] = None
+    #: Point-in-time aggregation provider shared by every assembler of this
+    #: slice (holds the pre-sorted history once).
+    aggregation_source: Optional[PointInTimeAggregationSource] = None
 
     def embedding_sets_for(self, feature_set: FeatureSetName) -> Dict[str, EmbeddingSet]:
         """Ordered embedding blocks for a feature-set configuration."""
@@ -152,6 +173,7 @@ class OfflineTrainingPipeline:
         hyperparameters: Optional[ModelHyperparameters] = None,
         *,
         embedding_side: str = "both",
+        aggregation: Optional[AggregationConfig] = None,
         use_maxcompute: bool = False,
         maxcompute_client: Optional[MaxComputeClient] = None,
     ) -> None:
@@ -159,8 +181,14 @@ class OfflineTrainingPipeline:
         self.hyperparameters = hyperparameters or ModelHyperparameters.laptop_scale()
         self.hyperparameters.validate()
         self.embedding_side = embedding_side
+        self.aggregation = aggregation
+        if aggregation is not None:
+            aggregation.validate()
         self.use_maxcompute = use_maxcompute
         self.maxcompute = maxcompute_client or (MaxComputeClient() if use_maxcompute else None)
+        #: Highest version bulk-loaded per table by publish_features, so the
+        #: streaming updater's write versions always supersede the snapshot.
+        self._published_versions: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Step 1+2: network construction and embedding training
@@ -241,6 +269,56 @@ class OfflineTrainingPipeline:
     # ------------------------------------------------------------------
     # Step 3: detector training
     # ------------------------------------------------------------------
+    def aggregator_for(
+        self, preparation: SlicePreparation
+    ) -> Optional[TransactionAggregator]:
+        """The slice's batch aggregator (None when aggregation is off).
+
+        Fitted once per slice on the full pre-test-day history with the
+        configured window, as of the test day — this is what seeds the
+        published HBase rows.  Feature *assembly* does not use this frozen
+        state; see :meth:`aggregation_source_for`.
+        """
+        if self.aggregation is None:
+            return None
+        cached = preparation.aggregator
+        if cached is None or cached.config != self.aggregation:
+            # Preparations are shared across pipelines (embeddings are the
+            # expensive part); rebuild when this pipeline's window differs.
+            preparation.aggregator = TransactionAggregator(self.aggregation).fit(
+                self._slice_history(preparation),
+                as_of_day=preparation.dataset.spec.test_day,
+            )
+        return preparation.aggregator
+
+    @staticmethod
+    def _slice_history(preparation: SlicePreparation) -> List:
+        """The slice's full pre-test-day event stream (network + train)."""
+        return (
+            preparation.dataset.network_transactions
+            + preparation.dataset.train_transactions
+        )
+
+    def aggregation_source_for(
+        self, preparation: SlicePreparation
+    ) -> Optional[PointInTimeAggregationSource]:
+        """Point-in-time aggregation provider for training/evaluation matrices.
+
+        Every assembled transaction sees the aggregates *as of the instant
+        before it happened* (score-then-ingest over the merged event-time
+        stream) — the same contract online serving applies — so training rows
+        carry no look-ahead into their own window.  Built once per slice; the
+        source holds the history pre-sorted.
+        """
+        if self.aggregation is None:
+            return None
+        cached = preparation.aggregation_source
+        if cached is None or cached.config != self.aggregation:
+            preparation.aggregation_source = PointInTimeAggregationSource(
+                self.aggregation, self._slice_history(preparation)
+            )
+        return preparation.aggregation_source
+
     def assembler_for(
         self, preparation: SlicePreparation, feature_set: FeatureSetName
     ) -> FeatureAssembler:
@@ -248,6 +326,7 @@ class OfflineTrainingPipeline:
             self.profiles,
             preparation.embedding_sets_for(feature_set),
             embedding_side=EmbeddingSide(self.embedding_side),
+            aggregator=self.aggregation_source_for(preparation),
         )
 
     def train(
@@ -307,10 +386,19 @@ class OfflineTrainingPipeline:
         *,
         table_name: str = "titant_features",
         version: Optional[int] = None,
+        include_aggregates: bool = True,
     ) -> int:
-        """Upload per-user profile rows and embeddings to Ali-HBase."""
+        """Upload per-user profile rows and embeddings to Ali-HBase.
+
+        ``include_aggregates=False`` skips the aggregate-family seed when the
+        caller publishes it from a seeded streaming engine instead
+        (:meth:`deploy_fleet`), avoiding a second full-history aggregation.
+        """
         hbase.create_feature_store(table_name)
         version = preparation.dataset.spec.test_day if version is None else version
+        self._published_versions[table_name] = max(
+            version, self._published_versions.get(table_name, 0)
+        )
         extractor = BasicFeatureExtractor(self.profiles)
 
         profile_rows: Dict[str, Dict[str, object]] = {}
@@ -343,8 +431,74 @@ class OfflineTrainingPipeline:
             written += hbase.bulk_load(
                 table_name, EMBEDDINGS_FAMILY, embedding_rows, version=version
             )
+
+        # With an aggregation window configured, seed the streaming family
+        # from the batch aggregator so day-one serving starts warm; the
+        # online StreamingFeatureUpdater takes over from this exact state.
+        if include_aggregates:
+            aggregator = self.aggregator_for(preparation)
+            if aggregator is not None:
+                written += hbase.bulk_load(
+                    table_name, AGGREGATES_FAMILY, aggregator.snapshot_rows(), version=version
+                )
         logger.info("published %d HBase rows at version %s", written, version)
         return written
+
+    def build_streaming_updater(
+        self,
+        preparation: SlicePreparation,
+        hbase: HBaseClient,
+        *,
+        table_name: str = "titant_features",
+        start_version: Optional[int] = None,
+        refresh_interval_seconds: Optional[float] = None,
+    ) -> StreamingFeatureUpdater:
+        """The online half of the windowing definition exported with the plan.
+
+        Replays the slice's pre-test-day history through a
+        :class:`SlidingWindowAggregator` configured from the *same*
+        :class:`AggregationConfig` the offline assembler used: querying the
+        seeded engine at the batch as-of instant —
+        ``test_day * SECONDS_PER_DAY - 1``, one second before test-day
+        midnight (``aggregator_for(...).as_of_time``; at midnight itself the
+        left-open window already drops events exactly one window old) —
+        reproduces the batch aggregator's published rows, and from the first
+        online ingest onwards every written row is anchored at the live
+        watermark — one windowing definition for both worlds.
+
+        ``start_version`` must be at least the version ``publish_features``
+        bulk-loaded at (the default derives it from the recorded publish
+        versions), so streaming write-throughs always supersede the published
+        snapshot.
+
+        ``refresh_interval_seconds`` defaults to the window length for
+        sub-day windows — idle accounts' rows decay fast there, so the
+        periodic re-anchoring sweep is on by default — and to off for
+        day-scale windows, where decay between publishes is negligible.
+        """
+        if self.aggregation is None:
+            raise ConfigurationError(
+                "pipeline has no aggregation window configured; pass "
+                "aggregation=AggregationConfig(...) to enable streaming features"
+            )
+        aggregator = SlidingWindowAggregator(self.aggregation)
+        aggregator.replay(self._slice_history(preparation))
+        hbase.create_feature_store(table_name)
+        if start_version is None:
+            start_version = max(
+                preparation.dataset.spec.test_day,
+                self._published_versions.get(table_name, 0),
+            )
+        window_seconds = self.aggregation.effective_window_seconds
+        if refresh_interval_seconds is None and window_seconds < SECONDS_PER_DAY:
+            refresh_interval_seconds = window_seconds
+        return StreamingFeatureUpdater(
+            aggregator,
+            hbase,
+            table_name,
+            start_version=start_version,
+            refresh_interval_seconds=refresh_interval_seconds,
+        )
 
     def deploy(
         self,
@@ -354,9 +508,17 @@ class OfflineTrainingPipeline:
         model_server: ModelServer,
         *,
         table_name: str = "titant_features",
-    ) -> None:
+        streaming_updater: bool = True,
+    ) -> Optional[StreamingFeatureUpdater]:
         """Publish features and hot-load the model + plan into a Model Server."""
-        self.deploy_fleet(bundle, preparation, hbase, [model_server], table_name=table_name)
+        return self.deploy_fleet(
+            bundle,
+            preparation,
+            hbase,
+            [model_server],
+            table_name=table_name,
+            streaming_updater=streaming_updater,
+        )
 
     def deploy_fleet(
         self,
@@ -366,9 +528,33 @@ class OfflineTrainingPipeline:
         model_servers: List[ModelServer],
         *,
         table_name: str = "titant_features",
-    ) -> None:
-        """Publish features once and hot-load the model into a whole MS fleet."""
-        self.publish_features(preparation, hbase, table_name=table_name)
+        streaming_updater: bool = True,
+    ) -> Optional[StreamingFeatureUpdater]:
+        """Publish features once and hot-load the model into a whole MS fleet.
+
+        When the pipeline has an aggregation window configured, also returns
+        the pre-seeded :class:`StreamingFeatureUpdater` the front end should
+        attach (``AlipayServer(fleet, feature_updater=...)``) so online
+        ingest keeps the served aggregates fresh.  Callers that intentionally
+        serve the frozen published rows can skip the (history-replay) updater
+        build with ``streaming_updater=False``.
+        """
+        updater: Optional[StreamingFeatureUpdater] = None
+        if self.aggregation is not None and streaming_updater:
+            updater = self.build_streaming_updater(
+                preparation, hbase, table_name=table_name
+            )
+        # When the updater exists, its seeded engine publishes the aggregate
+        # snapshot (anchored at the batch as-of instant) — one history walk
+        # instead of fitting a second, throwaway batch aggregator.
+        self.publish_features(
+            preparation, hbase, table_name=table_name, include_aggregates=updater is None
+        )
+        if updater is not None:
+            test_day = preparation.dataset.spec.test_day
+            updater.publish_snapshot(
+                as_of=test_day * SECONDS_PER_DAY - 1, version=test_day
+            )
         for model_server in model_servers:
             model_server.feature_table = table_name
             model_server.load_model(
@@ -377,3 +563,4 @@ class OfflineTrainingPipeline:
                 threshold=bundle.threshold,
                 plan=bundle.plan,
             )
+        return updater

@@ -23,7 +23,20 @@ from repro.features.discretization import (
     QuantileBinner,
     Discretizer,
 )
-from repro.features.aggregation import TransactionAggregator, AggregationConfig
+from repro.features.aggregation import (
+    AGGREGATION_FEATURE_NAMES,
+    AggregationConfig,
+    AggregationWindowSpec,
+    TransactionAggregator,
+    aggregation_vector,
+    transaction_event_time,
+)
+from repro.features.streaming import (
+    STANDARD_WINDOWS,
+    PointInTimeAggregationSource,
+    SlidingWindowAggregator,
+    WindowSpec,
+)
 from repro.features.plan import (
     EmbeddingBlockSpec,
     FeaturePlan,
@@ -47,6 +60,14 @@ __all__ = [
     "Discretizer",
     "TransactionAggregator",
     "AggregationConfig",
+    "AggregationWindowSpec",
+    "AGGREGATION_FEATURE_NAMES",
+    "aggregation_vector",
+    "transaction_event_time",
+    "SlidingWindowAggregator",
+    "PointInTimeAggregationSource",
+    "WindowSpec",
+    "STANDARD_WINDOWS",
     "FeatureAssembler",
     "EmbeddingSide",
 ]

@@ -5,19 +5,41 @@ section discusses (Whitrow et al., Jha et al.): summarise each account's
 recent history into per-user aggregates and attach them to every new
 transaction.  TitAnt supersedes this with node embeddings, but we keep the
 aggregation features as (a) an ablation baseline and (b) the source of the
-HBase per-user rows the Model Server reads online.
+per-user rows in the ``transaction_aggregates`` Ali-HBase column family that
+the Model Server reads online.
+
+This module holds the *batch* path (fit a look-back window once, apply it to
+a scoring batch) plus the pieces shared with the *streaming* path in
+:mod:`repro.features.streaming`:
+
+* :func:`transaction_event_time` — the canonical event-time mapping,
+* :class:`AggregationWindowSpec` — the serialisable window definition a
+  :class:`~repro.features.plan.FeaturePlan` exports alongside a model,
+* :func:`aggregation_vector` — the one place that turns a payer row and a
+  payee row into the :data:`AGGREGATION_FEATURE_NAMES` vector.
+
+Window semantics are event-time and left-open/right-closed: an event at time
+``t`` is inside the window ending at ``as_of`` iff ``as_of - W < t <= as_of``.
+The legacy day-based API (``fit(..., as_of_day=d)``) maps onto the same rule
+with ``as_of = d * SECONDS_PER_DAY - 1`` and is bit-compatible with the
+historical ``start_day <= txn.day < as_of_day`` filter.
 """
 
 from __future__ import annotations
 
+import abc
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.datagen.schema import Transaction
 from repro.exceptions import FeatureError
 from repro.features.matrix import FeatureMatrix
+
+SECONDS_PER_DAY = 86_400
+SECONDS_PER_HOUR = 3_600
 
 AGGREGATION_FEATURE_NAMES: List[str] = [
     "agg_payer_out_count",
@@ -34,17 +56,207 @@ AGGREGATION_FEATURE_NAMES: List[str] = [
     "agg_payee_new_payer_fraction",
 ]
 
+#: Scalar qualifiers of a per-user aggregate row (HBase ``transaction_aggregates``
+#: family).  The row additionally carries a ``payers`` set cell (the in-window
+#: payer ids of the account) so the serving path can compute
+#: ``agg_payee_new_payer_fraction`` without a second lookup.
+AGGREGATE_ROW_FIELDS: List[str] = [
+    "out_count",
+    "out_amount_sum",
+    "out_amount_mean",
+    "out_amount_max",
+    "distinct_payees",
+    "night_fraction",
+    "in_count",
+    "in_amount_sum",
+    "in_amount_mean",
+    "in_amount_max",
+    "distinct_payers",
+]
+
+
+def transaction_event_time(txn: Transaction) -> int:
+    """Event time of a transaction in seconds (the schema is hour-granular)."""
+    return txn.day * SECONDS_PER_DAY + txn.hour * SECONDS_PER_HOUR
+
+
+def is_night_hour(hour: int) -> bool:
+    """The night-activity definition shared by batch and streaming paths."""
+    return hour >= 22 or hour < 6
+
+
+def _require_positive_finite(name: str, value: float) -> float:
+    value = float(value)
+    if math.isnan(value) or math.isinf(value) or value <= 0.0:
+        raise FeatureError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def _require_bucket_divides_event_granularity(bucket_seconds: float) -> float:
+    """Buckets must divide the schema's hour-granular event times so every
+    bucket holds a single timestamp and window membership stays exact."""
+    bucket_seconds = _require_positive_finite("bucket_seconds", bucket_seconds)
+    if math.fmod(SECONDS_PER_HOUR, bucket_seconds) != 0.0:
+        raise FeatureError(
+            f"bucket_seconds must divide {SECONDS_PER_HOUR} (the schema's "
+            f"event-time granularity) so streaming buckets hold a single "
+            f"timestamp and windows stay exact; got {bucket_seconds!r}"
+        )
+    return bucket_seconds
+
+
+def build_aggregate_row(
+    *,
+    out_count: int,
+    out_amount_sum: float,
+    out_amount_max: float,
+    out_night_count: int,
+    num_payees: int,
+    in_count: int,
+    in_amount_sum: float,
+    in_amount_max: float,
+    num_payers: int,
+) -> Dict[str, float]:
+    """The canonical per-user aggregate row (:data:`AGGREGATE_ROW_FIELDS`).
+
+    Both the batch and the streaming engines build their rows through this
+    one function, so the derived-field conventions (zero-count means and
+    night fractions are 0.0) cannot drift between the two paths.
+    """
+    return {
+        "out_count": float(out_count),
+        "out_amount_sum": out_amount_sum,
+        "out_amount_mean": out_amount_sum / out_count if out_count else 0.0,
+        "out_amount_max": out_amount_max,
+        "distinct_payees": float(num_payees),
+        "night_fraction": out_night_count / out_count if out_count else 0.0,
+        "in_count": float(in_count),
+        "in_amount_sum": in_amount_sum,
+        "in_amount_mean": in_amount_sum / in_count if in_count else 0.0,
+        "in_amount_max": in_amount_max,
+        "distinct_payers": float(num_payers),
+    }
+
+
+def aggregation_vector(
+    payer_row: Mapping[str, object],
+    payee_row: Mapping[str, object],
+    payer_id: str,
+) -> List[float]:
+    """The 12-column :data:`AGGREGATION_FEATURE_NAMES` vector for one transaction.
+
+    ``payer_row`` supplies the out-going side, ``payee_row`` the in-coming side;
+    missing fields degrade to the cold-account zeros, and an unseen payee makes
+    the payer a "new payer" (fraction 1.0) exactly as the batch path does.
+    Every producer of aggregation features (batch transform, streaming engine,
+    plan executor over HBase rows) goes through this one function so the three
+    paths cannot drift.
+    """
+    known_payers = payee_row.get("payers", ())
+    return [
+        float(payer_row.get("out_count", 0.0)),
+        float(payer_row.get("out_amount_sum", 0.0)),
+        float(payer_row.get("out_amount_mean", 0.0)),
+        float(payer_row.get("out_amount_max", 0.0)),
+        float(payer_row.get("distinct_payees", 0.0)),
+        float(payer_row.get("night_fraction", 0.0)),
+        float(payee_row.get("in_count", 0.0)),
+        float(payee_row.get("in_amount_sum", 0.0)),
+        float(payee_row.get("in_amount_mean", 0.0)),
+        float(payee_row.get("in_amount_max", 0.0)),
+        float(payee_row.get("distinct_payers", 0.0)),
+        0.0 if payer_id in known_payers else 1.0,
+    ]
+
 
 @dataclass
 class AggregationConfig:
-    """Configuration of the aggregation window."""
+    """Configuration of the aggregation look-back window.
 
-    #: Length of the look-back window, in days, relative to the scoring day.
-    window_days: int = 14
+    Exactly one of ``window_days`` / ``window_seconds`` may be set; with
+    neither set the window defaults to 14 days.  ``window_seconds`` admits
+    sub-day windows (e.g. ``3600`` for one hour), which the day-granular
+    legacy field cannot express.
+    """
+
+    #: Length of the look-back window in days (legacy granularity).
+    window_days: Optional[float] = None
+    #: Length of the look-back window in seconds (takes any positive value).
+    window_seconds: Optional[float] = None
+
+    DEFAULT_WINDOW_DAYS = 14
 
     def validate(self) -> None:
-        if self.window_days <= 0:
-            raise FeatureError("window_days must be positive")
+        if self.window_days is not None and self.window_seconds is not None:
+            raise FeatureError("set window_days or window_seconds, not both")
+        if self.window_days is not None:
+            _require_positive_finite("window_days", self.window_days)
+        if self.window_seconds is not None:
+            _require_positive_finite("window_seconds", self.window_seconds)
+
+    @property
+    def effective_window_seconds(self) -> float:
+        """The configured window length, resolved to seconds."""
+        if self.window_seconds is not None:
+            return float(self.window_seconds)
+        days = self.DEFAULT_WINDOW_DAYS if self.window_days is None else self.window_days
+        return float(days) * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class AggregationWindowSpec:
+    """Serialisable window definition shared by offline and online worlds.
+
+    The trainer exports this spec inside the :class:`FeaturePlan`; the online
+    side configures its :class:`~repro.features.streaming.SlidingWindowAggregator`
+    from the very same object, so there is exactly one windowing definition.
+    """
+
+    window_seconds: float = float(14 * SECONDS_PER_DAY)
+    bucket_seconds: float = float(SECONDS_PER_HOUR)
+
+    def __post_init__(self) -> None:
+        _require_positive_finite("window_seconds", self.window_seconds)
+        _require_bucket_divides_event_granularity(self.bucket_seconds)
+
+    @classmethod
+    def from_config(
+        cls, config: AggregationConfig, *, bucket_seconds: float = float(SECONDS_PER_HOUR)
+    ) -> "AggregationWindowSpec":
+        config.validate()
+        return cls(
+            window_seconds=config.effective_window_seconds, bucket_seconds=bucket_seconds
+        )
+
+    def to_config(self) -> AggregationConfig:
+        return AggregationConfig(window_seconds=self.window_seconds)
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "window_seconds": float(self.window_seconds),
+            "bucket_seconds": float(self.bucket_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AggregationWindowSpec":
+        return cls(
+            window_seconds=float(data["window_seconds"]),
+            bucket_seconds=float(data.get("bucket_seconds", SECONDS_PER_HOUR)),
+        )
+
+
+class PointInTimeAggregateProvider(abc.ABC):
+    """Explicit capability marker: providers that compute *per-transaction*
+    point-in-time aggregation blocks (each row as of the instant before its
+    transaction) instead of serving per-user rows.  The plan executor
+    dispatches on this base class, so a provider opts into block semantics
+    deliberately — a coincidental ``aggregation_block`` attribute on a
+    row-serving provider cannot silently change feature values.
+    """
+
+    @abc.abstractmethod
+    def aggregation_block(self, transactions: Sequence[Transaction]) -> np.ndarray:
+        """(len(transactions), 12) point-in-time aggregation feature block."""
 
 
 @dataclass
@@ -70,20 +282,49 @@ class TransactionAggregator:
         self.config.validate()
         self._aggregates: Dict[str, _UserAggregate] = {}
         self._fitted = False
+        self._as_of_time: Optional[float] = None
 
     # ------------------------------------------------------------------
     @property
     def feature_names(self) -> List[str]:
         return list(AGGREGATION_FEATURE_NAMES)
 
-    def fit(self, history: Sequence[Transaction], *, as_of_day: int | None = None) -> "TransactionAggregator":
-        """Aggregate the history window ending at ``as_of_day`` (exclusive)."""
-        if as_of_day is None:
-            as_of_day = max((t.day for t in history), default=0) + 1
-        start_day = as_of_day - self.config.window_days
+    @property
+    def window_spec(self) -> AggregationWindowSpec:
+        return AggregationWindowSpec.from_config(self.config)
+
+    @property
+    def as_of_time(self) -> Optional[float]:
+        """The right edge (inclusive, seconds) of the last fitted window."""
+        return self._as_of_time
+
+    def fit(
+        self,
+        history: Sequence[Transaction],
+        *,
+        as_of_day: Optional[int] = None,
+        as_of_time: Optional[float] = None,
+    ) -> "TransactionAggregator":
+        """Aggregate the window ending at ``as_of_day`` (exclusive) or
+        ``as_of_time`` (inclusive, seconds).
+
+        The window is event-time and left-open/right-closed: a transaction at
+        time ``t`` counts iff ``as_of_time - W < t <= as_of_time``.  The
+        day-based form ``as_of_day=d`` is shorthand for
+        ``as_of_time = d * SECONDS_PER_DAY - 1`` and reproduces the historical
+        ``start_day <= txn.day < as_of_day`` behaviour exactly.
+        """
+        if as_of_day is not None and as_of_time is not None:
+            raise FeatureError("pass as_of_day or as_of_time, not both")
+        if as_of_time is None:
+            if as_of_day is None:
+                as_of_day = max((t.day for t in history), default=0) + 1
+            as_of_time = as_of_day * SECONDS_PER_DAY - 1
+        window_start = as_of_time - self.config.effective_window_seconds
         self._aggregates = {}
         for txn in history:
-            if not start_day <= txn.day < as_of_day:
+            event_time = transaction_event_time(txn)
+            if not window_start < event_time <= as_of_time:
                 continue
             payer = self._aggregates.setdefault(txn.payer_id, _UserAggregate())
             payee = self._aggregates.setdefault(txn.payee_id, _UserAggregate())
@@ -91,67 +332,80 @@ class TransactionAggregator:
             payer.out_amount_sum += txn.amount
             payer.out_amount_max = max(payer.out_amount_max, txn.amount)
             payer.payees.add(txn.payee_id)
-            if txn.hour >= 22 or txn.hour < 6:
+            if is_night_hour(txn.hour):
                 payer.out_night_count += 1
             payee.in_count += 1
             payee.in_amount_sum += txn.amount
             payee.in_amount_max = max(payee.in_amount_max, txn.amount)
             payee.payers.add(txn.payer_id)
         self._fitted = True
+        self._as_of_time = float(as_of_time)
         return self
+
+    def account_ids(self) -> List[str]:
+        """Accounts with at least one in-window transaction (sorted)."""
+        return sorted(self._aggregates)
 
     def user_row(self, user_id: str) -> Dict[str, float]:
         """Per-user aggregate row (what the pipeline uploads to Ali-HBase)."""
+        if not self._fitted:
+            # Serving all-zero rows for an unfitted window would silently
+            # train models on cold aggregates — the exact train/serve skew
+            # this layer exists to prevent.
+            raise FeatureError("TransactionAggregator must be fitted before user_row")
         aggregate = self._aggregates.get(user_id, _UserAggregate())
-        out_mean = aggregate.out_amount_sum / aggregate.out_count if aggregate.out_count else 0.0
-        in_mean = aggregate.in_amount_sum / aggregate.in_count if aggregate.in_count else 0.0
-        night_fraction = (
-            aggregate.out_night_count / aggregate.out_count if aggregate.out_count else 0.0
+        return build_aggregate_row(
+            out_count=aggregate.out_count,
+            out_amount_sum=aggregate.out_amount_sum,
+            out_amount_max=aggregate.out_amount_max,
+            out_night_count=aggregate.out_night_count,
+            num_payees=len(aggregate.payees),
+            in_count=aggregate.in_count,
+            in_amount_sum=aggregate.in_amount_sum,
+            in_amount_max=aggregate.in_amount_max,
+            num_payers=len(aggregate.payers),
         )
-        return {
-            "out_count": float(aggregate.out_count),
-            "out_amount_sum": aggregate.out_amount_sum,
-            "out_amount_mean": out_mean,
-            "out_amount_max": aggregate.out_amount_max,
-            "distinct_payees": float(len(aggregate.payees)),
-            "night_fraction": night_fraction,
-            "in_count": float(aggregate.in_count),
-            "in_amount_sum": aggregate.in_amount_sum,
-            "in_amount_mean": in_mean,
-            "in_amount_max": aggregate.in_amount_max,
-            "distinct_payers": float(len(aggregate.payers)),
-        }
+
+    def hbase_row(self, user_id: str) -> Dict[str, object]:
+        """The serialised aggregate row: scalar fields plus the ``payers`` cell
+        (a frozenset — order-free equality and O(1) membership for the
+        new-payer check, even for hot merchants with huge payer sets)."""
+        row: Dict[str, object] = dict(self.user_row(user_id))
+        aggregate = self._aggregates.get(user_id, _UserAggregate())
+        row["payers"] = frozenset(aggregate.payers)
+        return row
+
+    def snapshot_rows(self) -> Dict[str, Dict[str, object]]:
+        """``user_id -> hbase_row`` for every account with in-window activity."""
+        return {user_id: self.hbase_row(user_id) for user_id in self.account_ids()}
 
     def transform(self, transactions: Sequence[Transaction]) -> FeatureMatrix:
         """Aggregation feature matrix for a batch of transactions."""
         if not self._fitted:
             raise FeatureError("TransactionAggregator must be fitted before transform")
         rows = np.zeros((len(transactions), len(AGGREGATION_FEATURE_NAMES)))
+        # Rows are memoized per unique user, and the payee row carries the raw
+        # payer *set* (aggregation_vector only needs membership) — a hot
+        # merchant payee costs O(1) per transaction, not O(payers log payers).
+        empty: Dict[str, object] = {}
+        row_cache: Dict[str, Dict[str, object]] = {}
+
+        def row_for(user_id: str) -> Dict[str, object]:
+            row = row_cache.get(user_id)
+            if row is None:
+                aggregate = self._aggregates.get(user_id)
+                if aggregate is None:
+                    row = empty
+                else:
+                    row = dict(self.user_row(user_id))
+                    row["payers"] = aggregate.payers
+                row_cache[user_id] = row
+            return row
+
         for index, txn in enumerate(transactions):
-            payer = self._aggregates.get(txn.payer_id, _UserAggregate())
-            payee = self._aggregates.get(txn.payee_id, _UserAggregate())
-            payer_mean = payer.out_amount_sum / payer.out_count if payer.out_count else 0.0
-            payee_mean = payee.in_amount_sum / payee.in_count if payee.in_count else 0.0
-            night_fraction = (
-                payer.out_night_count / payer.out_count if payer.out_count else 0.0
+            rows[index] = aggregation_vector(
+                row_for(txn.payer_id), row_for(txn.payee_id), txn.payer_id
             )
-            new_payer_fraction = (
-                1.0 if txn.payer_id not in payee.payers else 0.0
-            )
-            rows[index] = [
-                payer.out_count,
-                payer.out_amount_sum,
-                payer_mean,
-                payer.out_amount_max,
-                len(payer.payees),
-                night_fraction,
-                payee.in_count,
-                payee.in_amount_sum,
-                payee_mean,
-                payee.in_amount_max,
-                len(payee.payers),
-                new_payer_fraction,
-            ]
         return FeatureMatrix(
             feature_names=self.feature_names,
             values=rows,

@@ -54,6 +54,14 @@ class FeatureAssembler:
     embedding_side:
         Which endpoint's embedding to use; ``BOTH`` concatenates payer then
         payee vectors for every embedding set.
+    aggregator:
+        Optional sliding-window aggregate provider — a fitted
+        :class:`~repro.features.aggregation.TransactionAggregator` or a
+        :class:`~repro.features.streaming.SlidingWindowAggregator`.  When
+        given, the plan carries the provider's
+        :class:`~repro.features.aggregation.AggregationWindowSpec` and the
+        design matrix gains the 12 aggregation features between the basic
+        block and the embeddings, exactly as the online path assembles them.
     """
 
     def __init__(
@@ -62,13 +70,17 @@ class FeatureAssembler:
         embedding_sets: Optional[Dict[str, EmbeddingSet]] = None,
         *,
         embedding_side: EmbeddingSide = EmbeddingSide.BOTH,
+        aggregator: Optional[object] = None,
     ) -> None:
         self._side = EmbeddingSide(embedding_side)
         self._plan = FeaturePlan.from_embedding_sets(
-            embedding_sets or {}, embedding_side=self._side.value
+            embedding_sets or {},
+            embedding_side=self._side.value,
+            aggregation=aggregator.window_spec if aggregator is not None else None,
         )
         self._executor = FeaturePlanExecutor(
-            self._plan, InMemoryFeatureSource(profiles, embedding_sets)
+            self._plan,
+            InMemoryFeatureSource(profiles, embedding_sets, aggregates=aggregator),
         )
 
     # ------------------------------------------------------------------

@@ -27,6 +27,12 @@ import numpy as np
 
 from repro.datagen.schema import Transaction, UserProfile
 from repro.exceptions import FeatureError
+from repro.features.aggregation import (
+    AGGREGATION_FEATURE_NAMES,
+    AggregationWindowSpec,
+    PointInTimeAggregateProvider,
+    aggregation_vector,
+)
 from repro.features.basic import BASIC_FEATURE_NAMES, BasicFeatureExtractor
 from repro.features.matrix import FeatureMatrix
 from repro.nrl.embeddings import EmbeddingSet
@@ -62,9 +68,15 @@ class EmbeddingBlockSpec:
 class FeaturePlan:
     """Ordered, immutable spec of the full feature vector.
 
-    The column layout is the basic-feature block followed by, for every
+    The column layout is the basic-feature block, then (when ``aggregation``
+    is set) the 12 sliding-window aggregation features, then, for every
     embedding block in order, one sub-block per side (payer before payee when
     ``embedding_side`` is ``"both"``).
+
+    ``aggregation`` is the exported windowing definition: offline assembly and
+    the online streaming engine are both configured from this one
+    :class:`~repro.features.aggregation.AggregationWindowSpec`, so the two
+    worlds cannot disagree about window length or bucketing.
     """
 
     embedding_blocks: Tuple[EmbeddingBlockSpec, ...] = ()
@@ -72,6 +84,7 @@ class FeaturePlan:
     basic_feature_names: Tuple[str, ...] = field(
         default_factory=lambda: tuple(BASIC_FEATURE_NAMES)
     )
+    aggregation: Optional[AggregationWindowSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "embedding_blocks", tuple(self.embedding_blocks))
@@ -98,6 +111,8 @@ class FeaturePlan:
     @property
     def feature_names(self) -> List[str]:
         names = list(self.basic_feature_names)
+        if self.aggregation is not None:
+            names.extend(AGGREGATION_FEATURE_NAMES)
         for block in self.embedding_blocks:
             for side in self.sides:
                 names.extend(
@@ -108,7 +123,12 @@ class FeaturePlan:
     @property
     def num_features(self) -> int:
         per_block = sum(block.dimension for block in self.embedding_blocks)
-        return len(self.basic_feature_names) + per_block * len(self.sides)
+        aggregation_width = len(AGGREGATION_FEATURE_NAMES) if self.aggregation else 0
+        return (
+            len(self.basic_feature_names)
+            + aggregation_width
+            + per_block * len(self.sides)
+        )
 
     @property
     def embedding_specs(self) -> List[Tuple[str, int]]:
@@ -122,13 +142,18 @@ class FeaturePlan:
         embedding_sets: Mapping[str, EmbeddingSet],
         *,
         embedding_side: str = "both",
+        aggregation: Optional[AggregationWindowSpec] = None,
     ) -> "FeaturePlan":
         """Plan matching an ordered mapping of trained embedding sets."""
         blocks = tuple(
             EmbeddingBlockSpec(set_name=name, dimension=embeddings.dimension)
             for name, embeddings in embedding_sets.items()
         )
-        return cls(embedding_blocks=blocks, embedding_side=embedding_side)
+        return cls(
+            embedding_blocks=blocks,
+            embedding_side=embedding_side,
+            aggregation=aggregation,
+        )
 
     @classmethod
     def from_specs(
@@ -150,6 +175,7 @@ class FeaturePlan:
             "embedding_blocks": [block.to_dict() for block in self.embedding_blocks],
             "embedding_side": self.embedding_side,
             "basic_feature_names": list(self.basic_feature_names),
+            "aggregation": self.aggregation.to_dict() if self.aggregation else None,
         }
 
     @classmethod
@@ -158,11 +184,17 @@ class FeaturePlan:
             EmbeddingBlockSpec.from_dict(item)
             for item in data.get("embedding_blocks", [])
         )
+        aggregation_data = data.get("aggregation")
         return cls(
             embedding_blocks=blocks,
             embedding_side=str(data.get("embedding_side", "both")),
             basic_feature_names=tuple(
                 data.get("basic_feature_names", BASIC_FEATURE_NAMES)
+            ),
+            aggregation=(
+                AggregationWindowSpec.from_dict(aggregation_data)
+                if aggregation_data
+                else None
             ),
         )
 
@@ -197,17 +229,47 @@ class FeatureSource(abc.ABC):
     ) -> np.ndarray:
         """(len(user_ids), block.dimension) matrix; unknown users are zeros."""
 
+    def aggregate_rows(
+        self, user_ids: Sequence[str]
+    ) -> Dict[str, Mapping[str, object]]:
+        """Per-user sliding-window aggregate rows (see ``AGGREGATE_ROW_FIELDS``).
+
+        Non-abstract for backwards compatibility: sources without aggregate
+        data serve every account as cold (all-zero aggregates).
+        """
+        return {}
+
+    def aggregation_block(
+        self, transactions: Sequence[Transaction]
+    ) -> Optional[np.ndarray]:
+        """Optional point-in-time aggregation block for a transaction batch.
+
+        Sources that can compute each transaction's aggregates *as of its own
+        event time* (the offline training path, via
+        :class:`~repro.features.streaming.PointInTimeAggregationSource`)
+        return the (n, 12) block directly; sources serving precomputed
+        per-user rows (the online HBase path) return None and the executor
+        falls back to :meth:`aggregate_rows`.
+        """
+        return None
+
 
 class InMemoryFeatureSource(FeatureSource):
-    """Offline source: the profile dict and trained embedding sets."""
+    """Offline source: the profile dict, trained embedding sets and (optionally)
+    an aggregate provider — either a plain ``user_id -> row`` mapping or any
+    aggregator exposing ``hbase_row(user_id)`` (batch or streaming), which is
+    queried live so offline assembly always sees the provider's current state.
+    """
 
     def __init__(
         self,
         profiles: Mapping[str, UserProfile],
         embedding_sets: Optional[Mapping[str, EmbeddingSet]] = None,
+        aggregates: Optional[object] = None,
     ) -> None:
         self._profiles = profiles
         self._embedding_sets = dict(embedding_sets or {})
+        self._aggregates = aggregates
 
     def profiles_for(self, user_ids: Sequence[str]) -> Dict[str, UserProfile]:
         return {
@@ -215,6 +277,33 @@ class InMemoryFeatureSource(FeatureSource):
             for user_id in user_ids
             if user_id in self._profiles
         }
+
+    def aggregate_rows(
+        self, user_ids: Sequence[str]
+    ) -> Dict[str, Mapping[str, object]]:
+        if self._aggregates is None or isinstance(
+            self._aggregates, PointInTimeAggregateProvider
+        ):
+            return {}
+        if hasattr(self._aggregates, "hbase_row"):
+            return {
+                user_id: self._aggregates.hbase_row(user_id) for user_id in user_ids
+            }
+        return {
+            user_id: self._aggregates[user_id]
+            for user_id in user_ids
+            if user_id in self._aggregates
+        }
+
+    def aggregation_block(
+        self, transactions: Sequence[Transaction]
+    ) -> Optional[np.ndarray]:
+        # Explicit capability dispatch: only providers that opted into the
+        # marker base compute per-transaction blocks; every other provider
+        # serves per-user rows.
+        if isinstance(self._aggregates, PointInTimeAggregateProvider):
+            return self._aggregates.aggregation_block(transactions)
+        return None
 
     def embedding_matrix(
         self, block: EmbeddingBlockSpec, user_ids: Sequence[str]
@@ -263,18 +352,20 @@ class FeaturePlanExecutor:
         profiles = self.source.profiles_for(list(dict.fromkeys(payers + payees)))
         extractor = BasicFeatureExtractor(profiles)
         basic = extractor.extract(transactions, with_labels=with_labels)
-        if not self.plan.embedding_blocks:
+        blocks: List[np.ndarray] = [basic.values]
+        if self.plan.aggregation is not None:
+            blocks.append(self._aggregation_block(transactions, payers, payees))
+        for block in self.plan.embedding_blocks:
+            for side in self.plan.sides:
+                user_ids = payers if side == "payer" else payees
+                blocks.append(self.source.embedding_matrix(block, user_ids))
+        if len(blocks) == 1:
             return FeatureMatrix(
                 feature_names=self.plan.feature_names,
                 values=basic.values,
                 row_ids=basic.row_ids,
                 labels=basic.labels,
             )
-        blocks: List[np.ndarray] = [basic.values]
-        for block in self.plan.embedding_blocks:
-            for side in self.plan.sides:
-                user_ids = payers if side == "payer" else payees
-                blocks.append(self.source.embedding_matrix(block, user_ids))
         return FeatureMatrix(
             feature_names=self.plan.feature_names,
             values=np.hstack(blocks) if transactions else
@@ -282,6 +373,28 @@ class FeaturePlanExecutor:
             row_ids=basic.row_ids,
             labels=basic.labels,
         )
+
+    def _aggregation_block(
+        self,
+        transactions: Sequence[Transaction],
+        payers: Sequence[str],
+        payees: Sequence[str],
+    ) -> np.ndarray:
+        """The 12-column aggregation block: point-in-time when the source can
+        compute it, otherwise from the source's precomputed per-user rows."""
+        point_in_time = self.source.aggregation_block(transactions)
+        if point_in_time is not None:
+            return np.asarray(point_in_time, dtype=np.float64)
+        rows = self.source.aggregate_rows(list(dict.fromkeys([*payers, *payees])))
+        block = np.zeros((len(transactions), len(AGGREGATION_FEATURE_NAMES)))
+        empty: Mapping[str, object] = {}
+        for index, txn in enumerate(transactions):
+            block[index] = aggregation_vector(
+                rows.get(txn.payer_id) or empty,
+                rows.get(txn.payee_id) or empty,
+                txn.payer_id,
+            )
+        return block
 
     def assemble_single(self, transaction: Transaction) -> np.ndarray:
         """Feature vector for one transaction (the scalar serving path)."""

@@ -23,6 +23,10 @@ from repro.hbase.wal import WriteAheadLog
 #: Column-family names used by the TitAnt feature store (paper Figure 7).
 BASIC_FEATURES_FAMILY = "basic_features"
 EMBEDDINGS_FAMILY = "user_node_embeddings"
+#: Per-user sliding-window aggregates, written through by the online
+#: streaming feature engine on every ingested transaction (and bulk-seeded by
+#: the offline pipeline from the same windowing definition).
+AGGREGATES_FAMILY = "transaction_aggregates"
 
 
 class HBaseClient:
@@ -41,10 +45,14 @@ class HBaseClient:
         max_versions: int = 5,
         row_cache_ttl_s: float = 30.0,
         row_cache_rows: int = 4096,
+        wal_max_entries: Optional[int] = None,
     ):
         self._tables: Dict[str, HBaseTable] = {}
         self._router = RegionRouter(num_regions=num_regions)
-        self._wal = WriteAheadLog()
+        # Unbounded by default (full crash recovery); long-running streaming
+        # write-through deployments can cap retained entries like a real
+        # region server rotates WALs.
+        self._wal = WriteAheadLog(max_entries=wal_max_entries)
         self._max_versions = max_versions
         self._cache: Optional[RowCache] = (
             RowCache(ttl_seconds=row_cache_ttl_s, max_rows=row_cache_rows)
@@ -76,8 +84,11 @@ class HBaseClient:
         return sorted(self._tables)
 
     def create_feature_store(self, name: str = "titant_features") -> HBaseTable:
-        """Create the two-family table of Figure 7 (features + embeddings)."""
-        return self.create_table(name, [BASIC_FEATURES_FAMILY, EMBEDDINGS_FAMILY])
+        """Create the feature-store table: basic features + embeddings
+        (paper Figure 7) plus the streaming transaction-aggregate family."""
+        return self.create_table(
+            name, [BASIC_FEATURES_FAMILY, EMBEDDINGS_FAMILY, AGGREGATES_FAMILY]
+        )
 
     # ------------------------------------------------------------------
     # Mutations and reads
@@ -218,6 +229,11 @@ class HBaseClient:
 
     def wal_size(self) -> int:
         return len(self._wal)
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The write-ahead log (read access for durability tests/tooling)."""
+        return self._wal
 
     def replay_wal_into(self, table_name: str) -> int:
         """Rebuild a (fresh) table from the WAL after a simulated crash."""

@@ -19,9 +19,11 @@ from repro.serving.model_server import (
     ServingModel,
     TransactionRequest,
 )
+from repro.serving.streaming import StreamingFeatureUpdater
 from repro.serving.alipay import AlipayServer, TransactionOutcome, ServedTransaction
 
 __all__ = [
+    "StreamingFeatureUpdater",
     "LatencyTracker",
     "LatencyReport",
     "HBaseFeatureSource",

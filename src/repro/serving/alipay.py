@@ -19,9 +19,11 @@ import numpy as np
 
 from repro.datagen.schema import Transaction
 from repro.exceptions import ServingError
+from repro.features.streaming import event_order
 from repro.logging_utils import get_logger
 from repro.serving.latency import LatencyTracker
 from repro.serving.model_server import ModelServer, PredictionResponse, TransactionRequest
+from repro.serving.streaming import StreamingFeatureUpdater
 
 logger = get_logger("serving.alipay")
 
@@ -66,15 +68,29 @@ class ServingReport:
 
 
 class AlipayServer:
-    """Front-end simulator wired to one (or more) Model Server instances."""
+    """Front-end simulator wired to one (or more) Model Server instances.
 
-    def __init__(self, model_servers: Sequence[ModelServer] | ModelServer):
+    With a :class:`StreamingFeatureUpdater` attached, every processed
+    transaction is ingested into the sliding-window feature engine *after*
+    being scored (score-then-ingest: the fraud check sees the account's
+    behaviour up to, but excluding, the current transfer) and the touched
+    accounts' aggregate rows are written through to Ali-HBase, so the next
+    request on either account is served fresh aggregates.
+    """
+
+    def __init__(
+        self,
+        model_servers: Sequence[ModelServer] | ModelServer,
+        *,
+        feature_updater: Optional[StreamingFeatureUpdater] = None,
+    ):
         if isinstance(model_servers, ModelServer):
             model_servers = [model_servers]
         if not model_servers:
             raise ServingError("AlipayServer needs at least one Model Server")
         self._model_servers: List[ModelServer] = list(model_servers)
         self._next_server = 0
+        self.feature_updater = feature_updater
         self.served: List[ServedTransaction] = []
         self.notifications: List[str] = []
 
@@ -86,9 +102,11 @@ class AlipayServer:
         return server
 
     def process(self, request: TransactionRequest, *, was_fraud: Optional[bool] = None) -> ServedTransaction:
-        """Run one transfer through the fraud check."""
+        """Run one transfer through the fraud check (score, then ingest)."""
         server = self._pick_server()
         response = server.predict(request)
+        if self.feature_updater is not None:
+            self.feature_updater.observe_request(request)
         return self._record(request, response, was_fraud)
 
     def _record(
@@ -123,6 +141,11 @@ class AlipayServer:
         starting server rotates, so repeated batches stay balanced) and each
         chunk is scored with a single :meth:`ModelServer.predict_batch` call.
         Results come back in request order.
+
+        With a feature updater attached, each chunk is ingested *after* it is
+        scored, so requests within a chunk see the aggregates as of the start
+        of the chunk (micro-batch freshness) while later chunks already see
+        the earlier chunks' transactions.
         """
         requests = list(requests)
         if not requests:
@@ -144,6 +167,8 @@ class AlipayServer:
             for request, response, label in zip(
                 requests[start:stop], responses, labels[start:stop]
             ):
+                if self.feature_updater is not None:
+                    self.feature_updater.observe_request(request)
                 served.append(self._record(request, response, label))
         return served
 
@@ -153,21 +178,26 @@ class AlipayServer:
         *,
         batch_size: Optional[int] = None,
     ) -> ServingReport:
-        """Replay labelled transactions (e.g. a test day) through the online path.
+        """Replay labelled transactions as a true event-time stream.
 
+        The input is sorted by event time (day ⊕ hour, ties broken by
+        transaction id — a total order), so each transaction is scored against
+        the feature state of everything that happened before it, and the
+        replayed stream state is independent of the input's arrival order.
         With ``batch_size`` set, requests are micro-batched through
         :meth:`process_batch` (the vectorised fleet path); otherwise each
         transaction is scored with a scalar :meth:`process` call.
         """
         if batch_size is not None and batch_size < 1:
             raise ServingError("batch_size must be at least 1")
+        ordered = sorted(transactions, key=event_order)
         if batch_size is None:
-            for transaction in transactions:
+            for transaction in ordered:
                 request = TransactionRequest.from_transaction(transaction)
                 self.process(request, was_fraud=transaction.is_fraud)
             return self.report()
         pending: List[Transaction] = []
-        for transaction in transactions:
+        for transaction in ordered:
             pending.append(transaction)
             if len(pending) >= batch_size:
                 self._process_transaction_batch(pending)

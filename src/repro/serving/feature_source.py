@@ -19,6 +19,7 @@ from repro.datagen.schema import Gender, UserProfile
 from repro.exceptions import ServingError
 from repro.features.plan import EmbeddingBlockSpec, FeatureSource
 from repro.hbase.client import (
+    AGGREGATES_FAMILY,
     BASIC_FEATURES_FAMILY,
     EMBEDDINGS_FAMILY,
     HBaseClient,
@@ -57,6 +58,26 @@ class HBaseFeatureSource(FeatureSource):
         return {
             user_id: profile_from_row(user_id, row) for user_id, row in rows.items()
         }
+
+    def aggregate_rows(self, user_ids: Sequence[str]) -> Dict[str, Dict[str, object]]:
+        """Latest per-user sliding-window aggregate rows.
+
+        Rows are written through by the online streaming engine on every
+        ingested transaction (each write invalidates the client-side row
+        cache), so the next request for an account always sees its aggregates
+        as of that account's most recent transaction.  A stored row is
+        anchored at the instant it was written: for an account *idle* since
+        then, events that have since aged past the window edge still count
+        until the account's next transaction or the updater's periodic
+        refresh (``refresh_interval_seconds``) re-anchors the row — with
+        sub-day windows, configure the refresh to bound that decay lag.
+        Cold accounts get an empty row, which the plan executor scores as
+        all-zero aggregates — identical to the offline treatment of unseen
+        users.
+        """
+        return self.hbase.multi_get(
+            self.table_name, list(user_ids), AGGREGATES_FAMILY, default={}
+        )
 
     def embedding_matrix(
         self, block: EmbeddingBlockSpec, user_ids: Sequence[str]

@@ -154,3 +154,67 @@ class TestOfflineOnlineParity:
         assembler, _, _ = deployed
         payload = assembler.plan.to_json()
         assert FeaturePlan.from_json(payload) == assembler.plan
+
+
+class TestAggregationBlockParity:
+    """The aggregation block assembles identically from both feature sources."""
+
+    @pytest.fixture()
+    def deployed_with_aggregates(self, world, dataset, embedding_sets):
+        from repro.features.aggregation import AggregationConfig, TransactionAggregator
+        from repro.hbase.client import AGGREGATES_FAMILY
+
+        aggregator = TransactionAggregator(AggregationConfig(window_days=14)).fit(
+            dataset.train_transactions, as_of_day=dataset.spec.test_day
+        )
+        assembler = FeatureAssembler(
+            world.profiles_by_id, embedding_sets, aggregator=aggregator
+        )
+        hbase = HBaseClient()
+        pipeline = OfflineTrainingPipeline(world.profiles_by_id)
+        preparation = SlicePreparation(
+            dataset=dataset, network=None, embeddings=dict(embedding_sets)
+        )
+        pipeline.publish_features(preparation, hbase)
+        hbase.bulk_load(
+            "titant_features",
+            AGGREGATES_FAMILY,
+            aggregator.snapshot_rows(),
+            version=dataset.spec.test_day,
+        )
+        train = assembler.assemble(dataset.train_transactions[:200])
+        model = GradientBoostingClassifier(num_trees=5, seed=1).fit(
+            train.values, train.labels
+        )
+        server = ModelServer(hbase, ModelServerConfig())
+        server.load_model(model, version="agg_v1", threshold=0.5, plan=assembler.plan)
+        return assembler, server
+
+    def test_layout_has_aggregation_block(self, deployed_with_aggregates):
+        assembler, _ = deployed_with_aggregates
+        from repro.features.aggregation import AGGREGATION_FEATURE_NAMES
+
+        names = assembler.plan.feature_names
+        assert names[52:64] == AGGREGATION_FEATURE_NAMES
+        assert names[64] == "dw_payer_0"
+        assert assembler.plan.num_features == 52 + 12 + 2 * 12
+
+    def test_online_matrix_identical_to_offline(self, deployed_with_aggregates, dataset):
+        assembler, server = deployed_with_aggregates
+        transactions = dataset.test_transactions[:60]
+        offline = assembler.assemble(transactions, with_labels=False)
+        online = server.plan_executor.assemble(transactions, with_labels=False)
+        assert offline.feature_names == online.feature_names
+        np.testing.assert_array_equal(offline.values, online.values)
+
+    def test_missing_aggregate_rows_score_as_cold_accounts(self, world, dataset):
+        from repro.features.aggregation import AggregationWindowSpec
+
+        plan = FeaturePlan(aggregation=AggregationWindowSpec())
+        executor = FeaturePlanExecutor(
+            plan, InMemoryFeatureSource(world.profiles_by_id)
+        )
+        matrix = executor.assemble(dataset.test_transactions[:5], with_labels=False)
+        block = matrix.values[:, 52:64]
+        np.testing.assert_array_equal(block[:, :-1], np.zeros((5, 11)))
+        np.testing.assert_array_equal(block[:, -1], np.ones(5))  # new payers

@@ -1,0 +1,996 @@
+"""The streaming sliding-window feature engine and its online/offline parity.
+
+The headline invariant: at any point of an event-time stream, the incremental
+:class:`SlidingWindowAggregator` answers *exactly* what a brute-force batch
+recompute (:class:`TransactionAggregator`) over the in-window events would —
+for every prefix, at window edges, under out-of-order arrival, and across the
+offline → online handoff.
+
+Exactness note: the test streams use dyadic amounts (integer multiples of
+1/64), which float64 sums represent exactly under *any* association order, so
+"element-wise equal" means ``==``, not ``allclose`` — the windowing logic is
+what is under test, not float rounding.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.schema import Transaction, TransactionChannel
+from repro.exceptions import FeatureError
+from repro.features.aggregation import (
+    AGGREGATION_FEATURE_NAMES,
+    SECONDS_PER_DAY,
+    SECONDS_PER_HOUR,
+    AggregationConfig,
+    AggregationWindowSpec,
+    TransactionAggregator,
+    transaction_event_time,
+)
+from repro.features.basic import BASIC_FEATURE_NAMES
+from repro.features.streaming import (
+    STANDARD_WINDOWS,
+    PointInTimeAggregationSource,
+    SlidingWindowAggregator,
+    WindowSpec,
+)
+from repro.hbase.client import AGGREGATES_FAMILY, BASIC_FEATURES_FAMILY, HBaseClient
+from repro.hbase.store import HBaseTable
+
+
+# ---------------------------------------------------------------------------
+# Stream construction helpers
+# ---------------------------------------------------------------------------
+
+
+def make_txn(index, day, hour, payer, payee, amount) -> Transaction:
+    return Transaction(
+        transaction_id=f"t{index}",
+        day=int(day),
+        hour=int(hour),
+        payer_id=payer,
+        payee_id=payee,
+        amount=float(amount),
+        channel=TransactionChannel.APP,
+        trans_city="city_001",
+        device_id="d0",
+        is_new_device=False,
+        ip_risk_score=0.0,
+        payer_recent_txn_count=0,
+        payer_recent_amount=0.0,
+        payee_recent_inbound_count=0,
+        is_fraud=False,
+        label_available_day=int(day),
+    )
+
+
+def random_stream(rng, *, num_events, num_accounts, num_days, jitter_positions=0):
+    """A random event stream: duplicate accounts, dyadic amounts, optional
+    bounded out-of-order arrival (elements displaced by at most
+    ``jitter_positions`` from time order)."""
+    times = np.sort(rng.integers(0, num_days * 24, size=num_events))
+    if jitter_positions:
+        order = np.argsort(times + rng.uniform(0, jitter_positions, size=num_events))
+        times = times[order]
+    events = []
+    for index, slot in enumerate(times):
+        payer, payee = rng.choice(num_accounts, size=2, replace=False)
+        amount = int(rng.integers(1, 1 << 20)) / 64.0
+        events.append(
+            make_txn(index, slot // 24, slot % 24, f"u{payer:03d}", f"u{payee:03d}", amount)
+        )
+    return events
+
+
+def merged_account_history(events, *account_ids):
+    """The sub-stream touching any of ``account_ids`` (stream order, deduped)."""
+    wanted = set(account_ids)
+    return [e for e in events if e.payer_id in wanted or e.payee_id in wanted]
+
+
+def brute_rows(config, events, as_of_time, account_ids):
+    """Brute-force batch recompute: one full fit, rows for ``account_ids``."""
+    fitted = TransactionAggregator(config).fit(events, as_of_time=as_of_time)
+    return {user_id: fitted.hbase_row(user_id) for user_id in account_ids}
+
+
+def assert_rows_close(left, right):
+    """Row equality tolerant of float fold-order (non-dyadic amounts only).
+
+    The batch path folds amounts linearly in stream order while the streaming
+    path folds per-bucket subtotals; for arbitrary float amounts the two
+    associations can differ in the last ulp, so sums/means compare with a
+    tight relative tolerance while counts, maxima and sets stay exact.
+    """
+    assert left.keys() == right.keys()
+    for key in left:
+        if key in ("out_amount_sum", "out_amount_mean", "in_amount_sum", "in_amount_mean"):
+            assert left[key] == pytest.approx(right[key], rel=1e-9, abs=1e-9)
+        else:
+            assert left[key] == right[key], key
+
+
+# ---------------------------------------------------------------------------
+# Satellite: window configuration (seconds-capable, validated)
+# ---------------------------------------------------------------------------
+
+
+class TestAggregationConfig:
+    def test_default_is_fourteen_days(self):
+        config = AggregationConfig()
+        config.validate()
+        assert config.effective_window_seconds == 14 * SECONDS_PER_DAY
+
+    def test_window_days_back_compat(self):
+        assert AggregationConfig(window_days=6).effective_window_seconds == 6 * SECONDS_PER_DAY
+        # Positional construction keeps working.
+        assert AggregationConfig(3).effective_window_seconds == 3 * SECONDS_PER_DAY
+
+    def test_window_seconds_equivalent_to_window_days(self):
+        events = [
+            make_txn(i, day, hour, "a", "b", 16.25)
+            for i, (day, hour) in enumerate([(0, 1), (1, 23), (2, 0), (3, 12)])
+        ]
+        by_days = TransactionAggregator(AggregationConfig(window_days=2)).fit(
+            events, as_of_day=4
+        )
+        by_seconds = TransactionAggregator(
+            AggregationConfig(window_seconds=2 * SECONDS_PER_DAY)
+        ).fit(events, as_of_day=4)
+        assert by_days.hbase_row("a") == by_seconds.hbase_row("a")
+        assert by_days.hbase_row("b") == by_seconds.hbase_row("b")
+
+    def test_sub_day_window(self):
+        events = [
+            make_txn(0, 5, 9, "a", "b", 4.0),
+            make_txn(1, 5, 11, "a", "c", 8.0),
+            make_txn(2, 5, 12, "a", "b", 2.0),
+        ]
+        one_hour = TransactionAggregator(
+            AggregationConfig(window_seconds=SECONDS_PER_HOUR)
+        ).fit(events, as_of_time=5 * SECONDS_PER_DAY + 12 * SECONDS_PER_HOUR)
+        row = one_hour.user_row("a")
+        # The window (11:00, 12:00] holds only the 12:00 event — the 11:00
+        # one sits exactly on the left-open edge and has fallen out.
+        assert row["out_count"] == 1.0
+        assert row["out_amount_sum"] == 2.0
+
+    @pytest.mark.parametrize("bad", [0, -3, float("nan"), float("inf"), -0.5])
+    def test_rejects_degenerate_windows(self, bad):
+        with pytest.raises(FeatureError):
+            AggregationConfig(window_days=bad).validate()
+        with pytest.raises(FeatureError):
+            AggregationConfig(window_seconds=bad).validate()
+        with pytest.raises(FeatureError):
+            AggregationWindowSpec(window_seconds=bad)
+        with pytest.raises(FeatureError):
+            AggregationWindowSpec(bucket_seconds=bad)
+        with pytest.raises(FeatureError):
+            SlidingWindowAggregator(AggregationConfig(window_seconds=bad))
+
+    def test_rejects_both_granularities(self):
+        with pytest.raises(FeatureError):
+            AggregationConfig(window_days=1, window_seconds=60.0).validate()
+
+    def test_rejects_both_as_of_forms(self):
+        with pytest.raises(FeatureError):
+            TransactionAggregator().fit([], as_of_day=1, as_of_time=100.0)
+
+    def test_unfitted_aggregator_cannot_serve_rows(self):
+        """Regression: an unfitted batch aggregator must raise, not silently
+        supply all-zero aggregates to a training assembly."""
+        from repro.features.assembler import FeatureAssembler
+
+        with pytest.raises(FeatureError):
+            TransactionAggregator().user_row("a")
+        with pytest.raises(FeatureError):
+            TransactionAggregator().hbase_row("a")
+        assembler = FeatureAssembler({}, aggregator=TransactionAggregator())
+        with pytest.raises(FeatureError):
+            assembler.assemble([make_txn(0, 1, 2, "a", "b", 1.0)], with_labels=False)
+
+    def test_window_spec_round_trip(self):
+        spec = AggregationWindowSpec(window_seconds=36_000.0, bucket_seconds=600.0)
+        assert AggregationWindowSpec.from_dict(spec.to_dict()) == spec
+        from_config = AggregationWindowSpec.from_config(AggregationConfig(window_days=2))
+        assert from_config.window_seconds == 2 * SECONDS_PER_DAY
+        engine = SlidingWindowAggregator.from_window_spec(spec)
+        assert engine.primary_window.window_seconds == 36_000.0
+        assert engine.bucket_seconds == 600.0
+
+
+# ---------------------------------------------------------------------------
+# Boundary behaviour of the streaming engine
+# ---------------------------------------------------------------------------
+
+
+class TestSlidingWindowBoundaries:
+    def test_empty_window(self):
+        engine = SlidingWindowAggregator(AggregationConfig(window_days=1))
+        row = engine.user_row("ghost")
+        assert row["out_count"] == 0.0 and row["in_count"] == 0.0
+        vector = engine.features_for(make_txn(0, 3, 4, "a", "b", 1.0))
+        # Cold accounts are all-zero except the new-payer flag, exactly like
+        # the batch path's treatment of unseen users.
+        assert vector[:-1].tolist() == [0.0] * (len(AGGREGATION_FEATURE_NAMES) - 1)
+        assert vector[-1] == 1.0
+
+    def test_single_event(self):
+        engine = SlidingWindowAggregator(AggregationConfig(window_days=1))
+        engine.ingest(make_txn(0, 2, 23, "a", "b", 12.5))
+        assert engine.user_row("a")["out_count"] == 1.0
+        assert engine.user_row("a")["night_fraction"] == 1.0
+        assert engine.user_row("b")["in_amount_max"] == 12.5
+        assert engine.hbase_row("b")["payers"] == frozenset({"a"})
+
+    def test_event_exactly_on_window_edge_falls_out(self):
+        window = SECONDS_PER_DAY
+        engine = SlidingWindowAggregator(AggregationConfig(window_seconds=window))
+        first = make_txn(0, 1, 0, "a", "b", 4.0)
+        engine.ingest(first)
+        t0 = transaction_event_time(first)
+        # One second before a full window has passed: still inside.
+        assert engine.user_row("a", as_of=t0 + window - 1)["out_count"] == 1.0
+        # Exactly one window later the event sits on the left-open edge.
+        assert engine.user_row("a", as_of=t0 + window)["out_count"] == 0.0
+        # After ingesting an event exactly on that edge, only it remains.
+        engine.ingest(make_txn(1, 2, 0, "a", "b", 8.0))
+        assert engine.user_row("a")["out_count"] == 1.0
+        assert engine.user_row("a")["out_amount_sum"] == 8.0
+
+    def test_events_exactly_on_bucket_edges(self):
+        engine = SlidingWindowAggregator(
+            AggregationConfig(window_seconds=2 * SECONDS_PER_HOUR)
+        )
+        for hour in (0, 1, 2, 3):
+            engine.ingest(make_txn(hour, 0, hour, "a", "b", 1.0))
+        # Window (1h, 3h] holds exactly the 02:00 and 03:00 buckets.
+        assert engine.user_row("a")["out_count"] == 2.0
+
+    def test_window_shorter_than_bucket(self):
+        engine = SlidingWindowAggregator(
+            AggregationConfig(window_seconds=1800.0)
+        )
+        engine.ingest(make_txn(0, 0, 3, "a", "b", 2.0))
+        engine.ingest(make_txn(1, 0, 4, "a", "b", 4.0))
+        # A 30-minute window at 04:00 sees only the 04:00 event.
+        assert engine.user_row("a")["out_amount_sum"] == 4.0
+
+    def test_whole_window_eviction(self):
+        engine = SlidingWindowAggregator(AggregationConfig(window_days=14))
+        for index in range(5):
+            engine.ingest(make_txn(index, index, 12, "a", "b", 2.0))
+        assert engine.user_row("a")["out_count"] == 5.0
+        # 40 days of silence, then one unrelated event: every old bucket is
+        # beyond the horizon.
+        engine.ingest(make_txn(99, 45, 0, "c", "d", 1.0))
+        assert engine.user_row("a")["out_count"] == 0.0
+        assert engine.user_row("b")["in_count"] == 0.0
+        # Touched accounts are evicted on ingest; prune() sweeps the rest.
+        engine.prune()
+        assert engine.account_ids() == ["c", "d"]
+
+    def test_duplicate_accounts_accumulate_distincts_once(self):
+        engine = SlidingWindowAggregator(AggregationConfig(window_days=7))
+        for index in range(6):
+            engine.ingest(make_txn(index, 1, index, "a", "b", 1.0))
+        row = engine.hbase_row("a")
+        assert row["out_count"] == 6.0
+        assert row["distinct_payees"] == 1.0
+        assert engine.hbase_row("b")["payers"] == frozenset({"a"})
+
+    def test_late_event_within_lateness_is_counted(self):
+        engine = SlidingWindowAggregator(
+            AggregationConfig(window_days=1),
+            allowed_lateness_seconds=float(SECONDS_PER_DAY),
+        )
+        engine.ingest(make_txn(0, 3, 12, "a", "b", 2.0))
+        assert engine.ingest(make_txn(1, 3, 2, "c", "a", 4.0))  # 10 h late
+        assert engine.user_row("a", as_of=engine.watermark)["in_count"] == 1.0
+        # The late event is also visible to a (permitted) late query.
+        late_as_of = transaction_event_time(make_txn(1, 3, 2, "c", "a", 4.0))
+        assert engine.user_row("a", as_of=late_as_of)["in_count"] == 1.0
+
+    def test_event_beyond_retention_is_dropped(self):
+        engine = SlidingWindowAggregator(AggregationConfig(window_days=1))
+        engine.ingest(make_txn(0, 10, 0, "a", "b", 2.0))
+        before = engine.hbase_row("a")
+        # Exactly at watermark - window: outside the left-open window, and
+        # with zero allowed lateness, beyond retention.
+        assert not engine.ingest(make_txn(1, 9, 0, "c", "a", 4.0))
+        assert engine.late_events_dropped == 1
+        assert engine.hbase_row("a") == before
+
+    def test_arrival_order_invariance(self):
+        rng = np.random.default_rng(5)
+        events = random_stream(rng, num_events=300, num_accounts=20, num_days=6)
+        span = 6 * SECONDS_PER_DAY
+        in_order = SlidingWindowAggregator(
+            AggregationConfig(window_days=2), allowed_lateness_seconds=span
+        )
+        in_order.ingest_many(sorted(events, key=transaction_event_time))
+        shuffled = SlidingWindowAggregator(
+            AggregationConfig(window_days=2), allowed_lateness_seconds=span
+        )
+        shuffled.ingest_many(rng.permutation(np.array(events, dtype=object)).tolist())
+        # Output is a pure function of the event set, not the arrival order.
+        assert in_order.snapshot_rows() == shuffled.snapshot_rows()
+
+    def test_multi_window_matches_independent_single_windows(self):
+        rng = np.random.default_rng(11)
+        events = random_stream(rng, num_events=400, num_accounts=25, num_days=20)
+        multi = SlidingWindowAggregator(windows=STANDARD_WINDOWS)
+        singles = [
+            SlidingWindowAggregator(
+                AggregationConfig(window_seconds=spec.window_seconds)
+            )
+            for spec in STANDARD_WINDOWS
+        ]
+        for event in events:
+            multi.ingest(event)
+            for single in singles:
+                single.ingest(event)
+        assert len(multi.feature_names) == 3 * len(AGGREGATION_FEATURE_NAMES)
+        assert multi.feature_names[: len(AGGREGATION_FEATURE_NAMES)] == AGGREGATION_FEATURE_NAMES
+        assert multi.feature_names[len(AGGREGATION_FEATURE_NAMES)].endswith("_24h")
+        probe = make_txn(9999, 20, 3, "u001", "u002", 3.5)
+        combined = multi.features_for(probe)
+        width = len(AGGREGATION_FEATURE_NAMES)
+        for position, single in enumerate(singles):
+            expected = single.features_for(probe)
+            np.testing.assert_array_equal(
+                combined[position * width : (position + 1) * width], expected
+            )
+
+    def test_transform_matches_batch_transform(self):
+        rng = np.random.default_rng(21)
+        events = random_stream(rng, num_events=500, num_accounts=30, num_days=10)
+        config = AggregationConfig(window_days=4)
+        engine = SlidingWindowAggregator(config).replay(events)
+        batch = TransactionAggregator(config).fit(events, as_of_time=engine.watermark)
+        probes = random_stream(rng, num_events=40, num_accounts=30, num_days=10)
+        streaming_matrix = engine.transform(probes)  # defaults to the watermark
+        batch_matrix = batch.transform(probes)
+        assert streaming_matrix.feature_names == batch_matrix.feature_names
+        np.testing.assert_array_equal(streaming_matrix.values, batch_matrix.values)
+
+    def test_rejects_bad_engine_configuration(self):
+        with pytest.raises(FeatureError):
+            SlidingWindowAggregator(windows=())
+        with pytest.raises(FeatureError):
+            SlidingWindowAggregator(
+                windows=(WindowSpec("a", 60.0), WindowSpec("", 120.0))
+            )
+        with pytest.raises(FeatureError):
+            SlidingWindowAggregator(
+                windows=(WindowSpec("a", 60.0), WindowSpec("x", 120.0), WindowSpec("x", 180.0))
+            )
+        with pytest.raises(FeatureError):
+            SlidingWindowAggregator(AggregationConfig(), bucket_seconds=0.0)
+        with pytest.raises(FeatureError):
+            SlidingWindowAggregator(AggregationConfig(), allowed_lateness_seconds=-1.0)
+        with pytest.raises(FeatureError):
+            WindowSpec("w", float("nan"))
+        with pytest.raises(FeatureError):
+            SlidingWindowAggregator(AggregationConfig(), windows=STANDARD_WINDOWS)
+        # Buckets coarser than the hour-granular event times would make
+        # window membership approximate — rejected, not silently wrong.
+        with pytest.raises(FeatureError):
+            SlidingWindowAggregator(AggregationConfig(), bucket_seconds=7200.0)
+        with pytest.raises(FeatureError):
+            AggregationWindowSpec(bucket_seconds=7200.0)
+
+    def test_dormant_accounts_are_swept_automatically(self):
+        engine = SlidingWindowAggregator(AggregationConfig(window_days=1))
+        engine.prune_interval = 100
+        engine.ingest(make_txn(0, 0, 0, "dormant", "other", 1.0))
+        # 'dormant' never transacts again; the periodic sweep (not just the
+        # touched-account eviction) must still release its buckets.
+        for index in range(1, 120):
+            engine.ingest(make_txn(index, 10 + index // 24, index % 24, "a", "b", 1.0))
+        assert "dormant" not in engine.account_ids()
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: property-based prefix parity (incremental == brute force)
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    data=st.lists(
+        st.tuples(
+            st.integers(0, 6),  # day
+            st.integers(0, 23),  # hour
+            st.integers(0, 7),  # payer slot
+            st.integers(0, 7),  # payee offset (shifted to avoid self-transfer)
+            st.integers(1, 1 << 20),  # amount in 64ths
+        ),
+        min_size=1,
+        max_size=80,
+    ),
+    window_seconds=st.sampled_from(
+        [SECONDS_PER_HOUR, 7200, 54_321, SECONDS_PER_DAY, 3 * SECONDS_PER_DAY]
+    ),
+)
+def test_prefix_parity_property(data, window_seconds):
+    """At every prefix of an arbitrarily-ordered stream the incremental state
+    equals a brute-force batch recompute — both at the watermark and at the
+    event's own (possibly late) timestamp."""
+    events = [
+        make_txn(i, day, hour, f"u{payer}", f"u{(payer + 1 + offset) % 9}", raw / 64.0)
+        for i, (day, hour, payer, offset, raw) in enumerate(data)
+    ]
+    span = float(7 * SECONDS_PER_DAY)
+    config = AggregationConfig(window_seconds=window_seconds)
+    engine = SlidingWindowAggregator(config, allowed_lateness_seconds=span)
+    ingested = []
+    for event in events:
+        event_time = transaction_event_time(event)
+        # Serve-before-ingest: the feature vector at the event's own time.
+        served = engine.features_for(event)
+        reference = TransactionAggregator(config).fit(ingested, as_of_time=event_time)
+        expected = reference.transform([event]).values[0]
+        np.testing.assert_array_equal(served, expected)
+
+        engine.ingest(event)
+        ingested.append(event)
+        expected_rows = brute_rows(
+            config, ingested, engine.watermark, (event.payer_id, event.payee_id)
+        )
+        for user_id, expected_row in expected_rows.items():
+            assert engine.hbase_row(user_id) == expected_row
+
+
+class TestParityAcceptance:
+    """Five random 2 000-event streams, checked at every prefix.
+
+    Per prefix the freshly touched accounts are checked against a brute-force
+    recompute of their merged sub-stream (identical to a full-stream fit for
+    those accounts, since per-user aggregates only depend on the user's own
+    events); every 250 events the *entire* account universe is checked
+    against a full-stream brute-force fit.
+    """
+
+    WINDOWS = [
+        AggregationConfig(window_seconds=SECONDS_PER_HOUR),
+        AggregationConfig(window_seconds=SECONDS_PER_DAY),
+        AggregationConfig(window_days=14),
+        AggregationConfig(window_seconds=100_000),
+        AggregationConfig(window_days=3),
+    ]
+
+    @pytest.mark.parametrize("stream_seed", range(5))
+    def test_2k_stream_prefix_parity(self, stream_seed):
+        rng = np.random.default_rng(1000 + stream_seed)
+        events = random_stream(
+            rng, num_events=2000, num_accounts=150, num_days=30, jitter_positions=40
+        )
+        config = self.WINDOWS[stream_seed]
+        lateness = float(2 * SECONDS_PER_DAY)
+        engine = SlidingWindowAggregator(config, allowed_lateness_seconds=lateness)
+        universe = sorted({e.payer_id for e in events} | {e.payee_id for e in events})
+        ingested = []
+        for position, event in enumerate(events):
+            engine.ingest(event)
+            ingested.append(event)
+            history = merged_account_history(ingested, event.payer_id, event.payee_id)
+            reference = TransactionAggregator(config).fit(
+                history, as_of_time=engine.watermark
+            )
+            assert engine.hbase_row(event.payer_id) == reference.hbase_row(event.payer_id)
+            assert engine.hbase_row(event.payee_id) == reference.hbase_row(event.payee_id)
+            if (position + 1) % 250 == 0:
+                expected = brute_rows(config, ingested, engine.watermark, universe)
+                for user_id in universe:
+                    assert engine.hbase_row(user_id) == expected[user_id]
+        assert engine.events_ingested == len(events)
+        assert engine.late_events_dropped == 0
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("stream_seed", range(5))
+    def test_2k_stream_full_brute_force_soak(self, stream_seed):
+        """Opt-in soak: the same five streams, but every prefix is checked
+        with a full-stream brute-force fit (quadratic — not tier-1)."""
+        rng = np.random.default_rng(1000 + stream_seed)
+        events = random_stream(
+            rng, num_events=2000, num_accounts=150, num_days=30, jitter_positions=40
+        )
+        config = self.WINDOWS[stream_seed]
+        engine = SlidingWindowAggregator(
+            config, allowed_lateness_seconds=float(2 * SECONDS_PER_DAY)
+        )
+        ingested = []
+        for event in events:
+            engine.ingest(event)
+            ingested.append(event)
+            reference = TransactionAggregator(config).fit(
+                ingested, as_of_time=engine.watermark
+            )
+            assert engine.hbase_row(event.payer_id) == reference.hbase_row(event.payer_id)
+            assert engine.hbase_row(event.payee_id) == reference.hbase_row(event.payee_id)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: crash recovery — WAL/stream replay rebuilds identical state
+# ---------------------------------------------------------------------------
+
+
+class TestCrashRecovery:
+    def _run_stream(self, events, config):
+        from repro.serving.streaming import StreamingFeatureUpdater
+
+        hbase = HBaseClient()
+        hbase.create_feature_store()
+        engine = SlidingWindowAggregator(config)
+        updater = StreamingFeatureUpdater(engine, hbase)
+        for event in events:
+            updater.observe_transaction(event)
+        return hbase, engine, updater
+
+    def test_replayed_aggregator_is_bit_identical(self):
+        rng = np.random.default_rng(77)
+        events = random_stream(rng, num_events=800, num_accounts=60, num_days=20)
+        config = AggregationConfig(window_days=7)
+        _, live, _ = self._run_stream(events, config)
+
+        recovered = SlidingWindowAggregator(config)
+        recovered.ingest_many(events)  # same fixed-seed stream, same order
+        assert recovered.watermark == live.watermark
+        assert recovered.events_ingested == live.events_ingested
+        live_rows = live.snapshot_rows()
+        recovered_rows = recovered.snapshot_rows()
+        assert recovered_rows == live_rows  # exact float equality, all accounts
+
+    def test_wal_replay_restores_aggregate_rows(self):
+        rng = np.random.default_rng(78)
+        events = random_stream(rng, num_events=600, num_accounts=40, num_days=15)
+        config = AggregationConfig(window_days=7)
+        hbase, engine, _ = self._run_stream(events, config)
+
+        # Crash: the MemStore is lost; a fresh region replays the WAL.
+        recovered = HBaseTable(
+            "titant_features", hbase.table("titant_features").column_families()
+        )
+        replayed = hbase.wal.replay(recovered, table_name="titant_features")
+        assert replayed == hbase.wal_size()
+        for user_id in engine.account_ids():
+            assert recovered.get(user_id, AGGREGATES_FAMILY) == hbase.get(
+                "titant_features", user_id, AGGREGATES_FAMILY
+            )
+        # Accounts written at the final watermark also match the live
+        # in-memory engine bit-for-bit (rows of accounts last touched earlier
+        # are that touch's snapshot — write-on-ingest semantics).
+        final = events[-1]
+        for user_id in (final.payer_id, final.payee_id):
+            assert recovered.get(user_id, AGGREGATES_FAMILY) == engine.hbase_row(user_id)
+
+
+# ---------------------------------------------------------------------------
+# Satellite: online freshness through HBase write-through + RowCache
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def streaming_stack(world, dataset):
+    """A served model whose plan includes the aggregation block, backed by an
+    HBase store with a long-TTL row cache and a streaming updater."""
+    from repro.features.assembler import FeatureAssembler
+    from repro.models.gbdt import GradientBoostingClassifier
+    from repro.serving import (
+        AlipayServer,
+        ModelServer,
+        ModelServerConfig,
+        StreamingFeatureUpdater,
+    )
+
+    # A window longer than the whole world (30 days of data): nothing ages
+    # out mid-test, so freshness deltas below are exact (+1 per ingest).
+    config = AggregationConfig(window_days=40)
+    test_day = dataset.spec.test_day
+    history = dataset.train_transactions
+
+    batch_aggregator = TransactionAggregator(config).fit(history, as_of_day=test_day)
+    assembler = FeatureAssembler(world.profiles_by_id, aggregator=batch_aggregator)
+    train = assembler.assemble(dataset.train_transactions[:400])
+    model = GradientBoostingClassifier(num_trees=5, seed=3).fit(train.values, train.labels)
+
+    hbase = HBaseClient(row_cache_ttl_s=600.0)  # stale for 10 min unless invalidated
+    hbase.create_feature_store()
+    for profile in world.profiles:
+        hbase.put(
+            "titant_features",
+            profile.user_id,
+            BASIC_FEATURES_FAMILY,
+            {
+                "age": profile.age,
+                "gender": profile.gender.value,
+                "home_city": profile.home_city,
+                "account_age_days": profile.account_age_days,
+                "kyc_level": profile.kyc_level,
+                "is_merchant": profile.is_merchant,
+                "device_count": profile.device_count,
+                "community": profile.community,
+            },
+            version=test_day,
+        )
+    hbase.bulk_load(
+        "titant_features",
+        AGGREGATES_FAMILY,
+        batch_aggregator.snapshot_rows(),
+        version=test_day,
+    )
+
+    engine = SlidingWindowAggregator(config).replay(history)
+    updater = StreamingFeatureUpdater(engine, hbase, start_version=test_day)
+    server = ModelServer(hbase, ModelServerConfig())
+    server.load_model(model, version="stream_v1", threshold=0.5, plan=assembler.plan)
+    alipay = AlipayServer(server, feature_updater=updater)
+    return hbase, server, alipay, updater, assembler
+
+
+class TestOnlineFreshness:
+    AGG_START = len(BASIC_FEATURE_NAMES)
+
+    def _column(self, name):
+        return self.AGG_START + AGGREGATION_FEATURE_NAMES.index(name)
+
+    def test_next_request_sees_ingested_transaction(self, streaming_stack, dataset):
+        from repro.serving import TransactionRequest
+
+        hbase, server, alipay, updater, _ = streaming_stack
+        txn = dataset.test_transactions[0]
+        probe = make_txn("probe", txn.day, min(txn.hour + 1, 23), txn.payer_id, txn.payee_id, 5.0)
+
+        before = server.plan_executor.assemble_single(probe)
+        # Read again: the second read must come from the row cache (long TTL).
+        hits_before = hbase.row_cache_stats()["hits"]
+        server.plan_executor.assemble_single(probe)
+        assert hbase.row_cache_stats()["hits"] > hits_before
+
+        alipay.process(TransactionRequest.from_transaction(txn), was_fraud=txn.is_fraud)
+
+        after = server.plan_executor.assemble_single(probe)
+        out_count = self._column("agg_payer_out_count")
+        out_sum = self._column("agg_payer_out_amount_sum")
+        in_count = self._column("agg_payee_in_count")
+        assert after[out_count] == before[out_count] + 1.0
+        assert after[out_sum] == pytest.approx(before[out_sum] + txn.amount, rel=1e-9)
+        assert after[in_count] == before[in_count] + 1.0
+        # The write-through invalidated the cached rows: no stale serve.
+        assert updater.events_observed == 1
+
+    def test_fresh_online_vector_matches_offline_recompute(self, streaming_stack, world, dataset):
+        from repro.features.plan import FeaturePlanExecutor, InMemoryFeatureSource
+        from repro.serving import TransactionRequest
+
+        _, server, alipay, updater, assembler = streaming_stack
+        for txn in dataset.test_transactions[:25]:
+            alipay.process(TransactionRequest.from_transaction(txn), was_fraud=txn.is_fraud)
+        probe = dataset.test_transactions[30]
+        online = server.plan_executor.assemble_single(probe)
+        offline = FeaturePlanExecutor(
+            assembler.plan,
+            InMemoryFeatureSource(world.profiles_by_id, aggregates=updater.aggregator),
+        ).assemble_single(probe)
+        np.testing.assert_array_equal(online, offline)
+
+    def test_refresh_re_anchors_idle_account_rows(self):
+        """A sub-day window decays between touches: without a refresh the
+        stored row keeps the stale counts, with one it is re-anchored — even
+        when the engine has auto-pruned the idle account out of its state
+        entirely (prune_interval=3 forces that mid-stream)."""
+        from repro.serving import StreamingFeatureUpdater
+
+        for interval, expected_count in ((None, 1.0), (float(SECONDS_PER_HOUR), 0.0)):
+            hbase = HBaseClient()
+            hbase.create_feature_store()
+            engine = SlidingWindowAggregator(
+                AggregationConfig(window_seconds=SECONDS_PER_HOUR)
+            )
+            engine.prune_interval = 3
+            updater = StreamingFeatureUpdater(
+                engine, hbase, refresh_interval_seconds=interval
+            )
+            updater.observe_transaction(make_txn(0, 0, 9, "idle", "x", 5.0))
+            # Six hours of unrelated traffic: 'idle' never transacts again.
+            for hour in range(10, 16):
+                updater.observe_transaction(make_txn(hour, 0, hour, "a", "b", 1.0))
+            assert "idle" not in engine.account_ids()  # pruned away
+            row = hbase.get("titant_features", "idle", AGGREGATES_FAMILY)
+            assert row["out_count"] == expected_count
+            if interval is not None:
+                assert updater.refreshes >= 1
+
+    def test_process_batch_keeps_later_chunks_fresh(self, streaming_stack, dataset):
+        from repro.serving import TransactionRequest
+
+        _, server, alipay, updater, _ = streaming_stack
+        requests = [
+            TransactionRequest.from_transaction(txn)
+            for txn in dataset.test_transactions[:8]
+        ]
+        alipay.process_batch(requests)
+        assert updater.events_observed == 8
+        probe = dataset.test_transactions[0]
+        row = updater.aggregator.user_row(probe.payer_id, as_of=updater.aggregator.watermark)
+        assert row["out_count"] >= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Training-time features must carry online (score-then-ingest) semantics
+# ---------------------------------------------------------------------------
+
+
+class TestPointInTimeTrainingFeatures:
+    def test_aggregate_row_layout_is_the_shared_contract(self):
+        from repro.features.aggregation import AGGREGATE_ROW_FIELDS
+
+        batch_row = TransactionAggregator().fit([]).user_row("x")
+        streaming_row = SlidingWindowAggregator(AggregationConfig()).user_row("x")
+        assert list(batch_row) == AGGREGATE_ROW_FIELDS
+        assert list(streaming_row) == AGGREGATE_ROW_FIELDS
+
+    def test_first_transfer_trains_as_new_payer(self):
+        """Regression: the naive fit-then-transform construction let a
+        training transaction see itself, so first-time transfers trained
+        with new_payer_fraction = 0 while serving saw 1 — inverted skew."""
+        source = PointInTimeAggregationSource(AggregationConfig(window_days=14), [])
+        batch = [
+            make_txn(0, 1, 10, "A", "B", 5.0),
+            make_txn(1, 1, 12, "A", "B", 7.0),
+        ]
+        block = source.aggregation_block(batch)
+        new_payer = AGGREGATION_FEATURE_NAMES.index("agg_payee_new_payer_fraction")
+        out_count = AGGREGATION_FEATURE_NAMES.index("agg_payer_out_count")
+        assert block[0][new_payer] == 1.0  # A is new to B at serve time
+        assert block[1][new_payer] == 0.0  # second transfer: A already known
+        assert block[0][out_count] == 0.0  # a row never includes its own txn
+        assert block[1][out_count] == 1.0
+
+    def test_block_matches_online_stream_replay(self):
+        """The offline block equals serving the same transactions inside one
+        event-time replay of the full stream (the AlipayServer contract) —
+        including when the batch is an arbitrary subset of the history."""
+        rng = np.random.default_rng(42)
+        events = random_stream(rng, num_events=400, num_accounts=30, num_days=10)
+        config = AggregationConfig(window_days=3)
+        batch = events[150:220]  # a mid-stream slice of the history itself
+        block = PointInTimeAggregationSource(config, events).aggregation_block(batch)
+
+        engine = SlidingWindowAggregator(config)
+        wanted = {txn.transaction_id: i for i, txn in enumerate(batch)}
+        expected = np.zeros_like(block)
+        for event in sorted(
+            events, key=lambda t: (transaction_event_time(t), t.transaction_id)
+        ):
+            position = wanted.get(event.transaction_id)
+            if position is not None:
+                expected[position] = engine.features_for(event)
+            engine.ingest(event)
+        np.testing.assert_array_equal(block, expected)
+
+    def test_duplicate_batch_rows_each_see_their_predecessors(self):
+        """Regression: duplicate transaction ids in a batch (oversampled
+        training rows) must not produce zero rows or self-inclusive counts."""
+        source = PointInTimeAggregationSource(AggregationConfig(window_days=14), [])
+        txn = make_txn(7, 2, 10, "A", "B", 4.0)
+        block = source.aggregation_block([txn, txn, txn])
+        out_count = AGGREGATION_FEATURE_NAMES.index("agg_payer_out_count")
+        assert [row[out_count] for row in block] == [0.0, 1.0, 2.0]
+
+    def test_block_memoized_per_batch(self):
+        rng = np.random.default_rng(13)
+        events = random_stream(rng, num_events=120, num_accounts=10, num_days=5)
+        source = PointInTimeAggregationSource(AggregationConfig(window_days=3), events[:80])
+        batch = events[80:]
+        first = source.aggregation_block(batch)
+        second = source.aggregation_block(batch)
+        np.testing.assert_array_equal(first, second)
+        assert first is not second  # callers get their own copy
+
+    def test_shared_preparation_rebuilds_on_window_change(self, world, dataset, network):
+        from repro.core.pipeline import OfflineTrainingPipeline, SlicePreparation
+
+        preparation = SlicePreparation(dataset=dataset, network=network)
+        fortnight = OfflineTrainingPipeline(
+            world.profiles_by_id, aggregation=AggregationConfig(window_days=14)
+        )
+        hourly = OfflineTrainingPipeline(
+            world.profiles_by_id, aggregation=AggregationConfig(window_seconds=SECONDS_PER_HOUR)
+        )
+        assert fortnight.aggregation_source_for(preparation).window_spec.window_seconds == 14 * SECONDS_PER_DAY
+        # A different pipeline sharing the same (expensive) preparation must
+        # not silently reuse the first pipeline's window.
+        assert hourly.aggregation_source_for(preparation).window_spec.window_seconds == SECONDS_PER_HOUR
+        assert fortnight.aggregator_for(preparation).config.window_days == 14
+        assert hourly.aggregator_for(preparation).config.window_seconds == SECONDS_PER_HOUR
+
+    def test_replay_is_permutation_independent(self):
+        rng = np.random.default_rng(8)
+        events = random_stream(rng, num_events=250, num_accounts=15, num_days=4)
+        config = AggregationConfig(window_days=4)
+        sorted_in = SlidingWindowAggregator(config).replay(events)
+        shuffled_in = SlidingWindowAggregator(config).replay(
+            rng.permutation(np.array(events, dtype=object)).tolist()
+        )
+        assert sorted_in.snapshot_rows() == shuffled_in.snapshot_rows()
+
+    def test_pipeline_training_matrix_is_point_in_time(self, world, dataset, network):
+        from repro.core.config import FeatureSetName
+        from repro.core.pipeline import OfflineTrainingPipeline, SlicePreparation
+
+        config = AggregationConfig(window_days=14)
+        pipeline = OfflineTrainingPipeline(world.profiles_by_id, aggregation=config)
+        preparation = SlicePreparation(dataset=dataset, network=network)
+        assembler = pipeline.assembler_for(preparation, FeatureSetName.BASIC)
+        probes = dataset.train_transactions[:40]
+        matrix = assembler.assemble(probes)
+        block = matrix.values[:, len(BASIC_FEATURE_NAMES):len(BASIC_FEATURE_NAMES) + 12]
+        expected = pipeline.aggregation_source_for(preparation).aggregation_block(probes)
+        np.testing.assert_array_equal(block, expected)
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: the pipeline exports one windowing definition for both worlds
+# ---------------------------------------------------------------------------
+
+
+class TestPipelineWindowExport:
+    @pytest.fixture()
+    def trained(self, world, dataset, network):
+        from repro.core.config import DetectorName, FeatureSetName, Table1Configuration
+        from repro.core.pipeline import OfflineTrainingPipeline, SlicePreparation
+
+        pipeline = OfflineTrainingPipeline(
+            world.profiles_by_id, aggregation=AggregationConfig(window_days=14)
+        )
+        preparation = SlicePreparation(dataset=dataset, network=network)
+        configuration = Table1Configuration(1, DetectorName.GBDT, FeatureSetName.BASIC)
+        bundle = pipeline.train(preparation, configuration)
+        return pipeline, preparation, bundle
+
+    def test_plan_carries_window_spec(self, trained):
+        from repro.features.plan import FeaturePlan
+
+        _, _, bundle = trained
+        assert bundle.plan.aggregation is not None
+        assert bundle.plan.aggregation.window_seconds == 14 * SECONDS_PER_DAY
+        names = bundle.plan.feature_names
+        assert names[len(BASIC_FEATURE_NAMES):len(BASIC_FEATURE_NAMES) + 12] == AGGREGATION_FEATURE_NAMES
+        restored = FeaturePlan.from_json(bundle.plan.to_json())
+        assert restored == bundle.plan
+        assert restored.aggregation == bundle.plan.aggregation
+
+    def test_legacy_plan_json_still_loads(self):
+        from repro.features.plan import FeaturePlan
+
+        legacy = FeaturePlan.from_json(
+            '{"embedding_blocks": [], "embedding_side": "both"}'
+        )
+        assert legacy.aggregation is None
+        assert legacy.num_features == len(BASIC_FEATURE_NAMES)
+
+    def test_deploy_hands_back_seeded_updater_at_batch_state(self, trained, dataset):
+        from repro.serving import ModelServer
+
+        pipeline, preparation, bundle = trained
+        hbase = HBaseClient()
+        server = ModelServer(hbase)
+        frozen_hbase = HBaseClient()
+        assert (
+            pipeline.deploy(
+                bundle, preparation, frozen_hbase, ModelServer(frozen_hbase),
+                streaming_updater=False,
+            )
+            is None
+        )
+        updater = pipeline.deploy(bundle, preparation, hbase, server)
+        assert updater is not None
+
+        # Handoff parity: the streaming engine, seeded by replaying the same
+        # history, reproduces the batch aggregator's published rows exactly
+        # when queried at the batch as-of instant.
+        batch = pipeline.aggregator_for(preparation)
+        handoff = dataset.spec.test_day * SECONDS_PER_DAY - 1
+        for user_id in batch.account_ids():
+            assert_rows_close(
+                updater.aggregator.hbase_row(user_id, as_of=handoff),
+                batch.hbase_row(user_id),
+            )
+
+    def test_served_aggregates_flow_end_to_end(self, trained, dataset):
+        from repro.serving import AlipayServer, ModelServer
+
+        pipeline, preparation, bundle = trained
+        hbase = HBaseClient()
+        server = ModelServer(hbase)
+        updater = pipeline.deploy(bundle, preparation, hbase, server)
+        alipay = AlipayServer(server, feature_updater=updater)
+        report = alipay.replay_transactions(dataset.test_transactions[:60])
+        assert report.total == 60
+        assert updater.events_observed == 60
+
+    def test_sub_day_window_enables_refresh_by_default(self, world, dataset, network):
+        from repro.core.pipeline import OfflineTrainingPipeline, SlicePreparation
+
+        preparation = SlicePreparation(dataset=dataset, network=network)
+        hourly = OfflineTrainingPipeline(
+            world.profiles_by_id, aggregation=AggregationConfig(window_seconds=SECONDS_PER_HOUR)
+        )
+        updater = hourly.build_streaming_updater(preparation, HBaseClient())
+        assert updater.refresh_interval_seconds == SECONDS_PER_HOUR
+        daily = OfflineTrainingPipeline(
+            world.profiles_by_id, aggregation=AggregationConfig(window_days=14)
+        )
+        assert (
+            daily.build_streaming_updater(preparation, HBaseClient()).refresh_interval_seconds
+            is None
+        )
+
+    def test_wal_cap_bounds_streaming_write_through(self):
+        hbase = HBaseClient(wal_max_entries=100)
+        hbase.create_feature_store()
+        from repro.serving import StreamingFeatureUpdater
+
+        updater = StreamingFeatureUpdater(
+            SlidingWindowAggregator(AggregationConfig(window_days=1)), hbase
+        )
+        for index in range(200):
+            updater.observe_transaction(make_txn(index, 0, index % 24, "a", "b", 1.0))
+        assert hbase.wal_size() == 100
+
+    def test_custom_publish_version_does_not_freeze_streaming(self, trained):
+        """Regression: streaming write versions must supersede whatever
+        version publish_features bulk-loaded, or 'latest' reads keep serving
+        the frozen snapshot forever."""
+        pipeline, preparation, _ = trained
+        hbase = HBaseClient()
+        pipeline.publish_features(preparation, hbase, version=100)
+        updater = pipeline.build_streaming_updater(preparation, hbase)
+        assert updater.current_version >= 100
+        updater.observe_transaction(make_txn("fresh", 30, 1, "A", "B", 3.0))
+        row = hbase.get("titant_features", "A", AGGREGATES_FAMILY)
+        assert row["out_count"] == updater.aggregator.user_row("A")["out_count"]
+
+    def test_experiment_serving_stack_attaches_updater(self, world):
+        from repro.core import ExperimentConfig, ExperimentRunner, ModelHyperparameters
+        from repro.core.config import DetectorName, FeatureSetName, Table1Configuration
+
+        configuration = Table1Configuration(1, DetectorName.GBDT, FeatureSetName.BASIC)
+        runner = ExperimentRunner(
+            world,
+            ExperimentConfig(
+                num_datasets=1,
+                network_days=18,
+                train_days=6,
+                hyperparameters=ModelHyperparameters.laptop_scale(),
+                configurations=[configuration],
+                aggregation=AggregationConfig(window_days=14),
+            ),
+        )
+        dataset = runner.datasets()[0]
+        preparation = runner.preparation_for(dataset)
+        _, _, _, alipay = runner.build_serving_stack(preparation, configuration)
+        assert alipay.feature_updater is not None
+        alipay.replay_transactions(dataset.test_transactions[:20])
+        assert alipay.feature_updater.events_observed == 20
+
+    def test_replay_is_event_time_ordered(self, trained, dataset):
+        from repro.serving import AlipayServer, ModelServer
+
+        pipeline, preparation, bundle = trained
+        transactions = list(dataset.test_transactions[:80])
+        shuffled = list(np.random.default_rng(3).permutation(np.array(transactions, dtype=object)))
+
+        states = []
+        for replay_input in (transactions, shuffled):
+            hbase = HBaseClient()
+            server = ModelServer(hbase)
+            updater = pipeline.deploy(bundle, preparation, hbase, server)
+            AlipayServer(server, feature_updater=updater).replay_transactions(replay_input)
+            states.append(updater.aggregator.snapshot_rows())
+        assert states[0] == states[1]
