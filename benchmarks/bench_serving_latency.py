@@ -12,6 +12,13 @@ Two modes are compared:
 * **scalar** — one ``predict`` per request, the pre-refactor hot path,
 * **batch** — micro-batched ``predict_batch`` (one ``multi_get`` per column
   family, one vectorised assembly, one ``predict_proba`` per batch).
+
+A third benchmark compares the fleet *routing* policies: every Model Server
+runs on its own HBase connection (a private client-side row cache, the real
+fleet shape), and consistent-hash sharding by payer account
+(:class:`~repro.serving.router.ServingRouter`) must lift the fleet-wide
+RowCache hit rate over round-robin on the same replay — the account's rows
+are cached once on its owning replica instead of missed once per replica.
 """
 
 from __future__ import annotations
@@ -20,10 +27,20 @@ import time
 
 from benchmarks.conftest import run_once
 from repro.core.config import DetectorName, FeatureSetName, Table1Configuration
-from repro.serving import AlipayServer, LatencyTracker
+from repro.serving import (
+    AlipayServer,
+    LatencyTracker,
+    ModelServer,
+    ModelServerConfig,
+    ServingRouter,
+    fleet_cache_stats,
+)
 
 SLA_BUDGET_MS = 50.0
 BATCH_SIZE = 256
+ROUTING_FLEET_SIZE = 4
+#: Minimum relative fleet cache-hit-rate lift of sharded over round-robin.
+ROUTING_HIT_LIFT = 1.15
 
 
 def _serving_stack(bench_runner):
@@ -97,8 +114,67 @@ def test_batch_path_throughput_vs_scalar(benchmark, bench_runner):
     print(f"  speedup           : {speedup:.1f}x")
     print(f"  batch per-request p99 : {batch_latency.p99_ms:.3f} ms "
           f"(SLA budget {SLA_BUDGET_MS:.0f} ms)")
-    print(f"  row cache         : {hbase.row_cache_stats()}")
+    print(f"  row cache         : {fleet_cache_stats([server])}")
 
     assert speedup >= 5.0, f"batch path only {speedup:.1f}x faster than scalar"
     # Amortised per-request latency must still clear the paper's SLA budget.
     assert batch_latency.p99_ms < SLA_BUDGET_MS
+
+
+def test_sharded_routing_lifts_cache_hit_rate(benchmark, bench_runner):
+    """Account-sharded routing must beat round-robin on RowCache hit rate.
+
+    Both fleets serve the identical replay from the same published HBase
+    store; only the front-end routing policy differs.  Each replica holds a
+    private per-connection cache, so round-robin pays up to fleet-size
+    compulsory misses per hot account while sharding pays exactly one.
+    """
+    dataset = bench_runner.datasets()[0]
+    preparation = bench_runner.preparation_for(dataset)
+    configuration = Table1Configuration(9, DetectorName.GBDT, FeatureSetName.BASIC_DW)
+    bundle, hbase, _, _ = bench_runner.build_serving_stack(
+        preparation, configuration, sla_budget_ms=SLA_BUDGET_MS
+    )
+    replay = dataset.test_transactions
+
+    def build_fleet():
+        fleet = [
+            ModelServer(
+                hbase.connection(row_cache_ttl_s=3600.0),
+                ModelServerConfig(sla_budget_ms=SLA_BUDGET_MS),
+            )
+            for _ in range(ROUTING_FLEET_SIZE)
+        ]
+        for server in fleet:
+            server.load_model(
+                bundle.detector,
+                version=bundle.version,
+                threshold=bundle.threshold,
+                plan=bundle.plan,
+            )
+        return fleet
+
+    def _compare():
+        round_robin_fleet = build_fleet()
+        AlipayServer(round_robin_fleet).replay_transactions(replay, batch_size=64)
+        sharded_fleet = build_fleet()
+        AlipayServer(
+            sharded_fleet, router=ServingRouter(ROUTING_FLEET_SIZE)
+        ).replay_transactions(replay, batch_size=64)
+        return fleet_cache_stats(round_robin_fleet), fleet_cache_stats(sharded_fleet)
+
+    round_robin, sharded = run_once(benchmark, _compare)
+    lift = sharded["hit_rate"] / round_robin["hit_rate"] if round_robin["hit_rate"] else float("inf")
+
+    print(f"\nRouting policy vs fleet RowCache hit rate "
+          f"({len(replay)} requests, {ROUTING_FLEET_SIZE} replicas)")
+    print(f"  round-robin hit rate : {round_robin['hit_rate']:.2%} "
+          f"({round_robin['hits']:.0f} hits / {round_robin['misses']:.0f} misses)")
+    print(f"  sharded hit rate     : {sharded['hit_rate']:.2%} "
+          f"({sharded['hits']:.0f} hits / {sharded['misses']:.0f} misses)")
+    print(f"  lift                 : {lift:.2f}x")
+
+    assert sharded["hit_rate"] > round_robin["hit_rate"] * ROUTING_HIT_LIFT, (
+        f"sharded routing lifted the hit rate only {lift:.2f}x "
+        f"(required ≥ {ROUTING_HIT_LIFT}x)"
+    )

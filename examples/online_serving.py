@@ -1,14 +1,20 @@
 """End-to-end TitAnt deployment: offline training, HBase upload, online serving.
 
 Reproduces the full system of the paper's Figure 3 / Figure 5 on the
-simulated substrates:
+simulated substrates, then walks the production serving runtime:
 
 1. offline T+1 training (transaction network → DeepWalk embeddings → GBDT),
-2. publication of per-user basic features and embeddings to Ali-HBase and the
-   model file to the Model Server,
-3. the Alipay server replaying the next day's transfer requests through the
-   Model Server, interrupting the transactions flagged as fraud, and
-4. a latency / alert-quality report of the online path.
+2. registry-driven deployment to a sharded Model Server fleet — per-user
+   features/embeddings to Ali-HBase, each replica on its own HBase
+   connection (private row cache), the model loaded through the
+   ``FleetController``,
+3. the Alipay server replaying transfer requests through consistent-hash
+   account sharding with deadline-bounded request coalescing,
+4. a hot model rotation on the live fleet: shadow-score a challenger,
+   canary it onto part of the fleet, promote — then roll back,
+5. an overload burst: admission control sheds past-capacity arrivals to the
+   rule-based fallback instead of queueing unboundedly, and
+6. latency / alert-quality / cache reports of the online path.
 
 Run with:  python examples/online_serving.py
 """
@@ -22,7 +28,19 @@ from repro.datagen import generate_world
 from repro.datagen.profiles import ProfileConfig
 from repro.datagen.transactions import WorldConfig
 from repro.hbase import HBaseClient
-from repro.serving import AlipayServer, ModelServer, ModelServerConfig
+from repro.serving import (
+    AdmissionConfig,
+    AdmissionController,
+    AlipayServer,
+    CoalescerConfig,
+    FleetController,
+    ModelServer,
+    ModelServerConfig,
+    ServingRouter,
+    fleet_cache_stats,
+)
+
+FLEET_SIZE = 3
 
 
 def main() -> None:
@@ -49,39 +67,99 @@ def main() -> None:
     )
     dataset = runner.datasets()[0]
     preparation = runner.pipeline.prepare(dataset, need_deepwalk=True, need_structure2vec=False)
-    bundle = runner.pipeline.train(
+    champion = runner.pipeline.train(
         preparation, Table1Configuration(9, DetectorName.GBDT, FeatureSetName.BASIC_DW)
     )
-    registry = ModelRegistry()
-    runner.pipeline.register_model(registry, bundle)
-    print(f"   registered model: {registry.latest().describe()}")
 
-    print("2. Publishing features/embeddings to Ali-HBase and loading the MS fleet ...")
+    print("2. Deploying to a sharded Model Server fleet via the registry ...")
     # Bound WAL retention: the streaming updater writes two aggregate rows
     # per processed transfer, and a long-running front end would otherwise
     # retain every entry (a real region server rotates its WALs the same way).
     hbase = HBaseClient(num_regions=4, wal_max_entries=50_000)
-    fleet = [ModelServer(hbase, ModelServerConfig(sla_budget_ms=50.0)) for _ in range(2)]
-    updater = runner.pipeline.deploy_fleet(bundle, preparation, hbase, fleet)
-    print(f"   exported feature plan  : {len(bundle.plan.feature_names)} features, "
-          f"blocks {bundle.plan.embedding_specs}, side {bundle.plan.embedding_side!r}, "
-          f"window {bundle.plan.aggregation}")
-    print(f"   HBase rows written through the WAL: {hbase.wal_size()}")
-    print(f"   region load report: {hbase.region_load_report()}")
+    # One HBase connection per replica: each Model Server process owns a
+    # private client-side row cache over the shared store (the fleet shape
+    # that account-sharded routing keeps hot).
+    fleet = [
+        ModelServer(hbase.connection(), ModelServerConfig(sla_budget_ms=50.0))
+        for _ in range(FLEET_SIZE)
+    ]
+    registry = ModelRegistry()
+    updater = runner.pipeline.deploy_fleet(
+        champion, preparation, hbase, fleet, registry=registry
+    )
+    controller = FleetController(fleet, registry)
+    print(f"   registered model       : {registry.latest().describe()}")
+    print(f"   fleet versions         : {controller.fleet_versions()}")
+    print(f"   exported feature plan  : {len(champion.plan.feature_names)} features, "
+          f"window {champion.plan.aggregation}")
 
-    print("3. Online: replaying the test day in micro-batches through the fleet ...")
-    alipay = AlipayServer(fleet, feature_updater=updater)
-    report = alipay.replay_transactions(dataset.test_transactions, batch_size=256)
+    print("3. Online: coalesced replay through the account-sharded fleet ...")
+    alipay = AlipayServer(
+        fleet, feature_updater=updater, router=ServingRouter(FLEET_SIZE)
+    )
+    test_transactions = dataset.test_transactions
+    half = len(test_transactions) // 2
+    report = alipay.replay_transactions(
+        test_transactions[:half],
+        arrival_rate_per_s=2000.0,
+        coalescer=CoalescerConfig(max_batch=64, max_delay_ms=5.0),
+    )
     latency = alipay.latency_report()
+    stats = alipay.last_coalescer_stats
     print(f"   transactions processed : {report.total}")
-    print(f"   interrupted (alerts)   : {report.interrupted}")
-    print(f"   alert precision        : {report.alert_precision:.2%}")
-    print(f"   alert recall           : {report.alert_recall:.2%}")
+    print(f"   interrupted (alerts)   : {report.interrupted} "
+          f"(precision {report.alert_precision:.2%}, recall {report.alert_recall:.2%})")
     print(f"   mean / p99 latency     : {latency['mean_ms']:.3f} ms / {latency['p99_ms']:.3f} ms "
           "(amortised per request)")
-    print(f"   HBase row-cache stats  : {hbase.row_cache_stats()}")
-    if alipay.notifications:
-        print("   example notification   :", alipay.notifications[0])
+    print(f"   coalescing             : {stats['batches']:.0f} batches, "
+          f"mean size {stats['mean_batch']:.1f}, max wait {stats['max_wait_ms']:.1f} ms")
+    print(f"   fleet row caches       : {fleet_cache_stats(fleet)}")
+
+    print("4. Hot rotation: shadow a challenger, canary it, promote, roll back ...")
+    challenger = runner.pipeline.train(
+        preparation, Table1Configuration(7, DetectorName.LOGISTIC_REGRESSION, FeatureSetName.BASIC_DW)
+    )
+    runner.pipeline.register_model(registry, challenger)
+    controller.start_shadow(challenger.version)
+    alipay.replay_transactions(
+        test_transactions[half:],
+        arrival_rate_per_s=2000.0,
+        coalescer=CoalescerConfig(max_batch=64, max_delay_ms=5.0),
+    )
+    divergence = controller.stop_shadow()
+    print(f"   shadow divergence      : mean |Δp| {divergence.mean_abs_divergence:.4f}, "
+          f"decision flips {divergence.decision_flips}/{divergence.requests}")
+    canary = controller.deploy(challenger.version, canary_fraction=1 / FLEET_SIZE)
+    print(f"   canary fleet           : {canary.fleet_versions}")
+    promoted = controller.promote()
+    print(f"   promoted fleet         : {promoted.fleet_versions}")
+    rolled_back = controller.rollback()
+    print(f"   rolled-back fleet      : {rolled_back.fleet_versions} "
+          "(zero requests dropped throughout)")
+
+    print("5. Overload: a 10x-capacity burst sheds to the rule-based fallback ...")
+    admission = AdmissionController(
+        AdmissionConfig(capacity_rps=300.0, max_queue_depth=32, resume_queue_depth=16)
+    )
+    # No feature updater here: sections 3-4 already streamed this test day
+    # into the shared window engine, and re-ingesting the same transactions
+    # would double-count every account's aggregates.
+    burst_front = AlipayServer(
+        fleet,
+        router=ServingRouter(FLEET_SIZE),
+        admission=admission,
+    )
+    burst_report = burst_front.replay_transactions(
+        test_transactions, arrival_rate_per_s=3000.0
+    )
+    print(f"   burst answered         : {burst_report.total} of {len(test_transactions)} "
+          "(zero dropped)")
+    print(f"   shed to rules          : {burst_report.degraded} "
+          f"({burst_report.shed_to_rules_fraction:.1%})")
+    print(f"   peak queue depth       : {burst_report.peak_queue_depth:.1f} "
+          f"(bound {admission.config.max_queue_depth})")
+    if burst_front.notifications:
+        print("   example notification   :", burst_front.notifications[0])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Link-check the documentation so file references cannot rot.
+
+Scans ``README.md`` and ``docs/*.md`` for
+
+* relative Markdown links ``[text](path)`` — the target must exist on disk
+  (anchors are stripped; ``http(s)``/``mailto`` links are skipped), and
+* inline-code file references — backticked tokens that name a repo file
+  (``bench_*.py`` / ``test_*.py`` basenames, or any ``path/with/slash.py``
+  or ``.md``) must resolve to an existing file.
+
+Exits non-zero listing every dangling reference.  Run by the docs CI job and
+locally with ``python scripts/check_docs.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+INLINE_CODE = re.compile(r"`([^`\n]+)`")
+#: Backticked basenames checked against these directories.
+BASENAME_PATTERN = re.compile(r"^(bench_|test_)\w+\.py$")
+BASENAME_DIRS = ("benchmarks", "tests")
+#: Backticked repo paths (contain a slash, end in .py or .md).
+PATH_PATTERN = re.compile(r"^[\w./-]+/[\w.-]+\.(?:py|md)$")
+
+
+def doc_files() -> list:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    text = path.read_text()
+    rel = path.relative_to(REPO_ROOT)
+
+    for match in MARKDOWN_LINK.finditer(text):
+        target = match.group(1).split("#", 1)[0]
+        if not target or target.startswith(("http://", "https://", "mailto:")):
+            continue
+        resolved = (path.parent / target).resolve()
+        if not resolved.exists():
+            errors.append(f"{rel}: broken link -> {match.group(1)}")
+
+    for match in INLINE_CODE.finditer(text):
+        token = match.group(1).strip()
+        if BASENAME_PATTERN.match(token):
+            if not any((REPO_ROOT / d / token).exists() for d in BASENAME_DIRS):
+                errors.append(f"{rel}: referenced file not found -> `{token}`")
+        elif PATH_PATTERN.match(token):
+            # Tokens like `src/repro/serving/` style paths are checked too;
+            # trailing-slash directory mentions fall through to the dir check.
+            if not (REPO_ROOT / token).exists():
+                errors.append(f"{rel}: referenced file not found -> `{token}`")
+        elif token.endswith("/") and re.match(r"^[\w./-]+$", token):
+            if not (REPO_ROOT / token).is_dir():
+                errors.append(f"{rel}: referenced directory not found -> `{token}`")
+    return errors
+
+
+def main() -> None:
+    files = doc_files()
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    if errors:
+        print(f"doc link check failed ({len(errors)} dangling reference(s)):", file=sys.stderr)
+        for error in errors:
+            print(f"  - {error}", file=sys.stderr)
+        sys.exit(1)
+    print(f"doc link check passed ({len(files)} file(s))")
+
+
+if __name__ == "__main__":
+    main()

@@ -95,6 +95,7 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------------
     def datasets(self) -> RollingDatasets:
+        """The configured rolling T+1 dataset slices of the world."""
         return RollingDatasets.build(
             self.world,
             num_datasets=self.config.num_datasets,
@@ -175,6 +176,10 @@ class ExperimentRunner:
         *,
         num_servers: int = 1,
         sla_budget_ms: float = 50.0,
+        row_cache_ttl_s: Optional[float] = None,
+        row_cache_rows: Optional[int] = None,
+        router=None,
+        registry=None,
     ):
         """Train one configuration and deploy it to a fresh online stack.
 
@@ -185,15 +190,32 @@ class ExperimentRunner:
         window aggregation configured, the front end comes wired to the
         pre-seeded streaming feature updater, so replayed transactions keep
         the served aggregates fresh.
+
+        Each server runs on its own :meth:`HBaseClient.connection` (a private
+        client-side row cache over the shared store — the real fleet shape;
+        size it with ``row_cache_ttl_s``/``row_cache_rows``).  ``router``
+        selects the front-end policy (e.g.
+        :class:`~repro.serving.router.ServingRouter` for account sharding);
+        ``registry`` routes the fleet load through the registry-driven
+        :class:`~repro.serving.rotation.FleetController` path.
         """
         bundle = self.pipeline.train(preparation, configuration)
         hbase = HBaseClient()
         servers = [
-            ModelServer(hbase, ModelServerConfig(sla_budget_ms=sla_budget_ms))
+            ModelServer(
+                hbase.connection(
+                    row_cache_ttl_s=row_cache_ttl_s, row_cache_rows=row_cache_rows
+                ),
+                ModelServerConfig(sla_budget_ms=sla_budget_ms),
+            )
             for _ in range(num_servers)
         ]
-        updater = self.pipeline.deploy_fleet(bundle, preparation, hbase, servers)
-        return bundle, hbase, servers, AlipayServer(servers, feature_updater=updater)
+        updater = self.pipeline.deploy_fleet(
+            bundle, preparation, hbase, servers, registry=registry
+        )
+        return bundle, hbase, servers, AlipayServer(
+            servers, feature_updater=updater, router=router
+        )
 
     # ------------------------------------------------------------------
     # Figure 9: rec@top 1 % per detection method

@@ -77,6 +77,7 @@ from repro.nrl.word2vec import SkipGramConfig
 from repro.graph.random_walk import RandomWalkConfig
 from repro.rng import derive_seed
 from repro.serving.model_server import ModelServer
+from repro.serving.rotation import FleetController
 from repro.serving.streaming import StreamingFeatureUpdater
 
 logger = get_logger("core.pipeline")
@@ -161,6 +162,7 @@ class TrainedModelBundle:
 
     @property
     def version(self) -> str:
+        """Registry version string: training day ⊕ detector ⊕ feature set."""
         return f"day{self.training_day}_{self.configuration.detector.value}_{self.configuration.feature_set.value}"
 
 
@@ -322,6 +324,7 @@ class OfflineTrainingPipeline:
     def assembler_for(
         self, preparation: SlicePreparation, feature_set: FeatureSetName
     ) -> FeatureAssembler:
+        """Offline feature assembler for one feature-set configuration."""
         return FeatureAssembler(
             self.profiles,
             preparation.embedding_sets_for(feature_set),
@@ -365,7 +368,14 @@ class OfflineTrainingPipeline:
     # ------------------------------------------------------------------
     # Step 4: publication to the online side
     # ------------------------------------------------------------------
-    def register_model(self, registry: ModelRegistry, bundle: TrainedModelBundle) -> ModelVersion:
+    def register_model(
+        self,
+        registry: ModelRegistry,
+        bundle: TrainedModelBundle,
+        *,
+        overwrite: bool = False,
+    ) -> ModelVersion:
+        """Register a trained bundle (model ⊕ threshold ⊕ plan) as a version."""
         version = ModelVersion(
             version=bundle.version,
             model=bundle.detector,
@@ -376,7 +386,7 @@ class OfflineTrainingPipeline:
             embedding_side=bundle.embedding_side,
             training_day=bundle.training_day,
         )
-        registry.register(version)
+        registry.register(version, overwrite=overwrite)
         return version
 
     def publish_features(
@@ -509,6 +519,7 @@ class OfflineTrainingPipeline:
         *,
         table_name: str = "titant_features",
         streaming_updater: bool = True,
+        registry: Optional[ModelRegistry] = None,
     ) -> Optional[StreamingFeatureUpdater]:
         """Publish features and hot-load the model + plan into a Model Server."""
         return self.deploy_fleet(
@@ -518,6 +529,7 @@ class OfflineTrainingPipeline:
             [model_server],
             table_name=table_name,
             streaming_updater=streaming_updater,
+            registry=registry,
         )
 
     def deploy_fleet(
@@ -529,6 +541,7 @@ class OfflineTrainingPipeline:
         *,
         table_name: str = "titant_features",
         streaming_updater: bool = True,
+        registry: Optional[ModelRegistry] = None,
     ) -> Optional[StreamingFeatureUpdater]:
         """Publish features once and hot-load the model into a whole MS fleet.
 
@@ -538,6 +551,13 @@ class OfflineTrainingPipeline:
         ingest keeps the served aggregates fresh.  Callers that intentionally
         serve the frozen published rows can skip the (history-replay) updater
         build with ``streaming_updater=False``.
+
+        With a ``registry``, the bundle is registered (if its version is not
+        yet known) and the fleet load runs through a
+        :class:`~repro.serving.rotation.FleetController` deploy — the same
+        registry-driven path later hot rotations (``deploy``/``rollback``/
+        canary/shadow on the live fleet) use, so day-one deployment and every
+        subsequent T+1 rotation exercise one code path.
         """
         updater: Optional[StreamingFeatureUpdater] = None
         if self.aggregation is not None and streaming_updater:
@@ -557,10 +577,25 @@ class OfflineTrainingPipeline:
             )
         for model_server in model_servers:
             model_server.feature_table = table_name
-            model_server.load_model(
-                bundle.detector,
-                version=bundle.version,
-                threshold=bundle.threshold,
-                plan=bundle.plan,
-            )
+        if registry is not None:
+            # Re-register (superseding) when the registry holds a *different*
+            # trained detector under this version string — e.g. the same
+            # day/configuration retrained — so the fleet always gets the
+            # bundle the caller just trained, never a stale registration.
+            if (
+                bundle.version not in registry
+                or registry.get(bundle.version).model is not bundle.detector
+            ):
+                self.register_model(
+                    registry, bundle, overwrite=bundle.version in registry
+                )
+            FleetController(model_servers, registry).deploy(bundle.version)
+        else:
+            for model_server in model_servers:
+                model_server.load_model(
+                    bundle.detector,
+                    version=bundle.version,
+                    threshold=bundle.threshold,
+                    plan=bundle.plan,
+                )
         return updater

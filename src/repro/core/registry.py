@@ -36,6 +36,7 @@ class ModelVersion:
     metrics: Dict[str, float] = field(default_factory=dict)
 
     def describe(self) -> str:
+        """One-line human-readable summary of the version."""
         return (
             f"model {self.version} ({self.model.name}), threshold {self.threshold:.3f}, "
             f"{len(self.feature_names)} features"
@@ -43,62 +44,89 @@ class ModelVersion:
 
 
 class ModelRegistry:
-    """Append-only registry of model versions."""
+    """Registry of model versions ordered by registration *sequence*.
+
+    Every successful :meth:`register` call — including an ``overwrite=True``
+    re-registration of an existing version string — is stamped with the next
+    value of a monotonic sequence counter, and :meth:`latest`,
+    :meth:`versions`, :meth:`rollback` and :meth:`history` are all defined in
+    terms of that counter.  Ordering therefore never depends on dict
+    iteration order, and a version re-registered after a retrain *supersedes*
+    everything registered before it — under the old insertion-order list, an
+    overwritten version kept its original position and ``latest()`` silently
+    skipped the retrained model (regression-tested in
+    ``tests/test_serving_runtime.py``).
+    """
 
     def __init__(self) -> None:
         self._versions: Dict[str, ModelVersion] = {}
-        self._order: List[str] = []
+        self._sequence: Dict[str, int] = {}
+        self._next_sequence = 0
 
     # ------------------------------------------------------------------
     def register(self, version: ModelVersion, *, overwrite: bool = False) -> None:
+        """Register a fitted model bundle as the newest version.
+
+        Re-registering an existing version string requires ``overwrite=True``
+        and moves that version to the head of the sequence order (the
+        retrained model is now the one ``latest()`` serves).
+        """
         if not version.model.is_fitted:
             raise ModelError("only fitted models can be registered")
         if version.version in self._versions and not overwrite:
             raise ServingError(f"model version {version.version!r} already registered")
-        if version.version not in self._versions:
-            self._order.append(version.version)
         self._versions[version.version] = version
+        self._sequence[version.version] = self._next_sequence
+        self._next_sequence += 1
 
     def get(self, version: str) -> ModelVersion:
+        """Look up one version by its version string."""
         try:
             return self._versions[version]
         except KeyError as exc:
             raise ServingError(f"unknown model version {version!r}") from exc
 
     def latest(self) -> ModelVersion:
-        if not self._order:
+        """The most recently registered version (by registration sequence)."""
+        if not self._versions:
             raise ServingError("the registry is empty")
-        return self._versions[self._order[-1]]
+        return self._versions[self._ordered()[-1]]
 
     def versions(self) -> List[str]:
-        return list(self._order)
+        """All version strings in registration-sequence order, oldest first."""
+        return self._ordered()
+
+    def _ordered(self) -> List[str]:
+        return sorted(self._sequence, key=self._sequence.__getitem__)
 
     def __len__(self) -> int:
-        return len(self._order)
+        return len(self._versions)
 
     def __contains__(self, version: str) -> bool:
         return version in self._versions
 
     # ------------------------------------------------------------------
     def rollback(self, *, steps: int = 1) -> ModelVersion:
-        """Return the version ``steps`` releases before the latest."""
+        """Return the version ``steps`` registrations before the latest."""
         if steps < 1:
             raise ServingError("steps must be at least 1")
-        if len(self._order) <= steps:
+        order = self._ordered()
+        if len(order) <= steps:
             raise ServingError(
-                f"cannot roll back {steps} step(s) with only {len(self._order)} version(s)"
+                f"cannot roll back {steps} step(s) with only {len(order)} version(s)"
             )
-        return self._versions[self._order[-(steps + 1)]]
+        return self._versions[order[-(steps + 1)]]
 
     def history(self) -> List[Dict[str, object]]:
         """Chronological audit trail of the registered versions."""
         return [
             {
                 "version": version,
+                "sequence": self._sequence[version],
                 "model": self._versions[version].model.name,
                 "threshold": self._versions[version].threshold,
                 "training_day": self._versions[version].training_day,
                 "metrics": dict(self._versions[version].metrics),
             }
-            for version in self._order
+            for version in self._ordered()
         ]

@@ -110,6 +110,7 @@ class FeaturePlan:
 
     @property
     def feature_names(self) -> List[str]:
+        """Ordered names of every column the plan produces."""
         names = list(self.basic_feature_names)
         if self.aggregation is not None:
             names.extend(AGGREGATION_FEATURE_NAMES)
@@ -122,6 +123,7 @@ class FeaturePlan:
 
     @property
     def num_features(self) -> int:
+        """Total width of the assembled feature vector."""
         per_block = sum(block.dimension for block in self.embedding_blocks)
         aggregation_width = len(AGGREGATION_FEATURE_NAMES) if self.aggregation else 0
         return (
@@ -171,6 +173,7 @@ class FeaturePlan:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable form of the plan (the exported model artefact)."""
         return {
             "embedding_blocks": [block.to_dict() for block in self.embedding_blocks],
             "embedding_side": self.embedding_side,
@@ -180,6 +183,7 @@ class FeaturePlan:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "FeaturePlan":
+        """Rebuild a plan from :meth:`to_dict` output (legacy JSON accepted)."""
         blocks = tuple(
             EmbeddingBlockSpec.from_dict(item)
             for item in data.get("embedding_blocks", [])
@@ -199,10 +203,12 @@ class FeaturePlan:
         )
 
     def to_json(self) -> str:
+        """The plan as a JSON string (what ships next to the model file)."""
         return json.dumps(self.to_dict())
 
     @classmethod
     def from_json(cls, payload: str) -> "FeaturePlan":
+        """Load a plan from its :meth:`to_json` string."""
         return cls.from_dict(json.loads(payload))
 
 
@@ -337,6 +343,7 @@ class FeaturePlanExecutor:
     # ------------------------------------------------------------------
     @property
     def feature_names(self) -> List[str]:
+        """Column names of the matrices this executor assembles."""
         return self.plan.feature_names
 
     def assemble(

@@ -188,6 +188,7 @@ class SlidingWindowAggregator:
     # ------------------------------------------------------------------
     @property
     def primary_window(self) -> WindowSpec:
+        """The first configured window (emits the unprefixed feature names)."""
         return self.windows[0]
 
     @property
@@ -205,6 +206,7 @@ class SlidingWindowAggregator:
 
     @property
     def feature_names(self) -> List[str]:
+        """Primary-window names plus suffixed copies per extra window."""
         names = list(AGGREGATION_FEATURE_NAMES)
         for spec in self.windows[1:]:
             names.extend(f"{base}_{spec.name}" for base in AGGREGATION_FEATURE_NAMES)
@@ -215,6 +217,7 @@ class SlidingWindowAggregator:
         return sorted(self._accounts)
 
     def stats(self) -> Dict[str, float]:
+        """Operational counters: ingests, late drops, evictions, live state."""
         return {
             "events_ingested": float(self.events_ingested),
             "late_events_dropped": float(self.late_events_dropped),

@@ -94,9 +94,27 @@ class RowCache:
         while len(self._rows) > self.max_rows:
             self._rows.popitem(last=False)
 
-    def invalidate(self, table: str, row_key: str) -> None:
-        """Drop every cached read of one row (called on write)."""
-        self._rows.pop((table, row_key), None)
+    def invalidate(
+        self, table: str, row_key: str, column_family: Optional[str] = None
+    ) -> None:
+        """Drop cached reads of one row (called on write).
+
+        A put only mutates one column family, so passing ``column_family``
+        keeps the row's *other* families cached — during streaming aggregate
+        write-through this is what keeps the (unchanged) profile and
+        embedding reads of a just-scored account hot.  With ``None`` the
+        whole row is dropped (conservative full invalidation).
+        """
+        if column_family is None:
+            self._rows.pop((table, row_key), None)
+            return
+        entry = self._rows.get((table, row_key))
+        if entry is None:
+            return
+        for sub_key in [key for key in entry if key[0] == column_family]:
+            del entry[sub_key]
+        if not entry:
+            del self._rows[(table, row_key)]
 
     def clear(self) -> None:
         self._rows.clear()

@@ -12,6 +12,7 @@ the column-family store, mirroring a real deployment's write path.
 
 from __future__ import annotations
 
+import weakref
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import RowNotFoundError, StorageError, TableNotFoundError
@@ -59,6 +60,52 @@ class HBaseClient:
             if row_cache_ttl_s > 0
             else None
         )
+        # Every connection() handle registers its cache here, and writes
+        # through ANY handle invalidate the row in EVERY attached cache —
+        # the cross-connection analogue of the single-client invalidation
+        # that keeps "a cache hit never serves a value older than the last
+        # local write" true for the whole fleet.  Weak references: a
+        # discarded connection's cache must not stay pinned (and must not
+        # keep costing an invalidation per write) for the cluster's lifetime.
+        self._cache_registry: List["weakref.ref[RowCache]"] = []
+        if self._cache is not None:
+            self._cache_registry.append(weakref.ref(self._cache))
+
+    def connection(
+        self,
+        *,
+        row_cache_ttl_s: Optional[float] = None,
+        row_cache_rows: Optional[int] = None,
+    ) -> "HBaseClient":
+        """A new client handle over this client's storage substrate.
+
+        The returned client shares the tables, region router and WAL (one
+        cluster) but owns its *own* client-side row cache — the shape of a
+        real fleet, where every Model Server process runs its own HBase
+        client with a private cache.  Account-sharded routing
+        (:class:`~repro.serving.router.ServingRouter`) exists precisely to
+        keep these per-connection caches hot: an account that always lands on
+        the same replica is cached once fleet-wide instead of once per
+        replica.  Cache TTL/capacity default to the parent connection's.
+        """
+        if row_cache_ttl_s is None:
+            row_cache_ttl_s = self._cache.ttl_seconds if self._cache is not None else 0.0
+        if row_cache_rows is None:
+            row_cache_rows = self._cache.max_rows if self._cache is not None else 4096
+        clone = object.__new__(HBaseClient)
+        clone._tables = self._tables
+        clone._router = self._router
+        clone._wal = self._wal
+        clone._max_versions = self._max_versions
+        clone._cache = (
+            RowCache(ttl_seconds=row_cache_ttl_s, max_rows=row_cache_rows)
+            if row_cache_ttl_s > 0
+            else None
+        )
+        clone._cache_registry = self._cache_registry
+        if clone._cache is not None:
+            self._cache_registry.append(weakref.ref(clone._cache))
+        return clone
 
     # ------------------------------------------------------------------
     # Table management
@@ -66,6 +113,7 @@ class HBaseClient:
     def create_table(
         self, name: str, column_families: Iterable[str], *, if_not_exists: bool = True
     ) -> HBaseTable:
+        """Create a table with the given column families (idempotent by default)."""
         if name in self._tables:
             if if_not_exists:
                 return self._tables[name]
@@ -75,12 +123,14 @@ class HBaseClient:
         return table
 
     def table(self, name: str) -> HBaseTable:
+        """Look up a table handle; raises :class:`TableNotFoundError`."""
         try:
             return self._tables[name]
         except KeyError as exc:
             raise TableNotFoundError(f"HBase table {name!r} does not exist") from exc
 
     def list_tables(self) -> List[str]:
+        """Names of every table in the store, sorted."""
         return sorted(self._tables)
 
     def create_feature_store(self, name: str = "titant_features") -> HBaseTable:
@@ -102,11 +152,21 @@ class HBaseClient:
         *,
         version: int,
     ) -> None:
+        """Write one row's column-family cells (WAL first, caches invalidated)."""
         table = self.table(table_name)
         self._wal.append(table_name, row_key, column_family, values, version=version)
         self._router.record_write(row_key)
-        if self._cache is not None:
-            self._cache.invalidate(table_name, row_key)
+        dead_refs = False
+        for cache_ref in self._cache_registry:
+            cache = cache_ref()
+            if cache is None:
+                dead_refs = True
+                continue
+            cache.invalidate(table_name, row_key, column_family)
+        if dead_refs:
+            self._cache_registry[:] = [
+                ref for ref in self._cache_registry if ref() is not None
+            ]
         table.put(row_key, column_family, values, version=version)
 
     def get(
@@ -117,6 +177,7 @@ class HBaseClient:
         *,
         version: Optional[int] = None,
     ) -> Dict[str, Any]:
+        """Point read of one row's family (latest version unless pinned)."""
         table = self.table(table_name)
         if self._cache is not None:
             cached = self._cache.get(table_name, row_key, column_family, version)
@@ -211,6 +272,7 @@ class HBaseClient:
         version: Optional[int] = None,
         limit: Optional[int] = None,
     ) -> List[Tuple[str, Dict[str, Any]]]:
+        """Ordered prefix scan over one column family (offline tooling path)."""
         return self.table(table_name).scan(
             column_family, prefix=prefix, version=version, limit=limit
         )
@@ -219,6 +281,7 @@ class HBaseClient:
     # Operational introspection
     # ------------------------------------------------------------------
     def region_load_report(self) -> Dict[int, Dict[str, int]]:
+        """Per-region read/write counters from the region router."""
         return self._router.load_report()
 
     def row_cache_stats(self) -> Dict[str, float]:
@@ -228,6 +291,7 @@ class HBaseClient:
         return self._cache.stats()
 
     def wal_size(self) -> int:
+        """Number of entries currently retained in the write-ahead log."""
         return len(self._wal)
 
     @property

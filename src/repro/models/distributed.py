@@ -306,6 +306,7 @@ class DistributedGBDT(BaseDetector):
 
     # ------------------------------------------------------------------
     def fit(self, features: np.ndarray, labels: Optional[np.ndarray] = None) -> "DistributedGBDT":
+        """Train the boosted ensemble over row-partitioned workers on the PS."""
         features, labels = validate_training_inputs(features, labels)
         if labels is None:
             raise ModelError("DistributedGBDT requires labels")
@@ -586,6 +587,7 @@ class DistributedGBDT(BaseDetector):
 
     # ------------------------------------------------------------------
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Fraud probabilities from the trained ensemble (driver-side, exact)."""
         features = self._check_predict_inputs(features)
         scores = np.full(features.shape[0], self._initial_score)
         for tree in self._trees:
@@ -595,6 +597,7 @@ class DistributedGBDT(BaseDetector):
         return np.clip(scores, 0.0, 1.0)
 
     def estimate_time(self, cost_model: ClusterCostModel | None = None) -> TrainingTimeEstimate:
+        """Analytic wall-clock estimate fed by the measured per-round volumes."""
         return _estimate_from_rounds(self.cluster, self.stats, self.cluster_config, cost_model)
 
 

@@ -155,10 +155,12 @@ class DistributedDeepWalk(NRLModel):
     # ------------------------------------------------------------------
     @property
     def dimension(self) -> int:
+        """Embedding dimensionality of the trained vectors."""
         return self.config.skipgram.dimension
 
     @property
     def mode(self) -> str:
+        """Training loop variant: "sparse" pull/push or the "dense" baseline."""
         return self.config.mode
 
     def _replay_walker(self) -> RandomWalker:
@@ -173,6 +175,7 @@ class DistributedDeepWalk(NRLModel):
         *,
         node_labels: Optional[dict[str, int]] = None,
     ) -> "DistributedDeepWalk":
+        """Train node embeddings for the network on the KunPeng cluster."""
         if network.num_nodes == 0:
             raise EmbeddingError("cannot fit DistributedDeepWalk on an empty network")
         cfg = self.config
@@ -423,6 +426,7 @@ class DistributedDeepWalk(NRLModel):
 
     # ------------------------------------------------------------------
     def embeddings(self) -> EmbeddingSet:
+        """The trained embedding set (raises before :meth:`fit`)."""
         if self._embeddings is None:
             raise EmbeddingError("DistributedDeepWalk has not been fitted")
         return self._embeddings

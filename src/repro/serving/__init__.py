@@ -8,6 +8,14 @@ Ali-HBase, assembles the same feature vector the offline trainer used, scores
 the transaction within milliseconds, and — if the fraud probability exceeds
 the alert threshold — tells the Alipay server to interrupt the on-going
 transaction and notify the transferor (paper Figure 5).
+
+Around that scoring core sits the serving *runtime* (see
+``docs/ARCHITECTURE.md``): consistent-hash account sharding
+(:mod:`repro.serving.router`), deadline-bounded request coalescing
+(:mod:`repro.serving.coalescer`), registry-driven hot model rotation with
+canaries and shadow scoring (:mod:`repro.serving.rotation`), and bounded
+admission control that sheds overload to the rule-based model
+(:mod:`repro.serving.admission`).
 """
 
 from repro.serving.latency import LatencyTracker, LatencyReport
@@ -17,10 +25,26 @@ from repro.serving.model_server import (
     ModelServerConfig,
     PredictionResponse,
     ServingModel,
+    ShadowReport,
     TransactionRequest,
 )
+from repro.serving.router import RoundRobinRouter, ServingRouter, fleet_cache_stats
+from repro.serving.coalescer import CoalescerConfig, RequestCoalescer
+from repro.serving.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    RuleBasedFallback,
+    default_fraud_rules,
+)
 from repro.serving.streaming import StreamingFeatureUpdater
-from repro.serving.alipay import AlipayServer, TransactionOutcome, ServedTransaction
+from repro.serving.alipay import (
+    AlipayServer,
+    ServedTransaction,
+    ServingReport,
+    TransactionOutcome,
+)
+from repro.serving.rotation import FleetController, RolloutReport
 
 __all__ = [
     "StreamingFeatureUpdater",
@@ -31,8 +55,22 @@ __all__ = [
     "ModelServerConfig",
     "PredictionResponse",
     "ServingModel",
+    "ShadowReport",
     "TransactionRequest",
+    "RoundRobinRouter",
+    "ServingRouter",
+    "fleet_cache_stats",
+    "CoalescerConfig",
+    "RequestCoalescer",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
+    "RuleBasedFallback",
+    "default_fraud_rules",
     "AlipayServer",
+    "ServingReport",
     "TransactionOutcome",
     "ServedTransaction",
+    "FleetController",
+    "RolloutReport",
 ]

@@ -21,6 +21,12 @@ from repro.datagen.schema import Transaction
 from repro.exceptions import ServingError
 from repro.features.streaming import event_order
 from repro.logging_utils import get_logger
+from repro.serving.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    RuleBasedFallback,
+)
+from repro.serving.coalescer import CoalescerConfig, RequestCoalescer
 from repro.serving.latency import LatencyTracker
 from repro.serving.model_server import ModelServer, PredictionResponse, TransactionRequest
 from repro.serving.streaming import StreamingFeatureUpdater
@@ -37,17 +43,28 @@ class TransactionOutcome(str, Enum):
 
 @dataclass
 class ServedTransaction:
-    """One transaction processed by the Alipay server."""
+    """One transaction processed by the Alipay server.
+
+    ``degraded`` marks requests the admission controller shed to the
+    rule-based fallback instead of the full ML scoring path.
+    """
 
     request: TransactionRequest
     response: PredictionResponse
     outcome: TransactionOutcome
     was_fraud: Optional[bool] = None
+    degraded: bool = False
 
 
 @dataclass
 class ServingReport:
-    """Aggregate outcomes of a replayed transaction stream."""
+    """Aggregate outcomes of a replayed transaction stream.
+
+    ``degraded`` counts requests answered by the rule-based fallback under
+    overload (still answered — never dropped), and ``peak_queue_depth`` is
+    the admission controller's maximum modelled backlog during the replay
+    (0.0 when no admission control is attached).
+    """
 
     total: int
     interrupted: int
@@ -55,16 +72,25 @@ class ServingReport:
     true_alerts: int
     false_alerts: int
     missed_frauds: int
+    degraded: int = 0
+    peak_queue_depth: float = 0.0
 
     @property
     def alert_precision(self) -> float:
+        """Fraction of raised alerts that were actual fraud."""
         alerts = self.true_alerts + self.false_alerts
         return self.true_alerts / alerts if alerts else 0.0
 
     @property
     def alert_recall(self) -> float:
+        """Fraction of actual fraud that raised an alert."""
         frauds = self.true_alerts + self.missed_frauds
         return self.true_alerts / frauds if frauds else 0.0
+
+    @property
+    def shed_to_rules_fraction(self) -> float:
+        """Fraction of all requests degraded to the rule-based fallback."""
+        return self.degraded / self.total if self.total else 0.0
 
 
 class AlipayServer:
@@ -76,6 +102,13 @@ class AlipayServer:
     behaviour up to, but excluding, the current transfer) and the touched
     accounts' aggregate rows are written through to Ali-HBase, so the next
     request on either account is served fresh aggregates.
+
+    ``router`` selects the fleet policy: ``None`` keeps the legacy
+    round-robin balancing, a :class:`~repro.serving.router.ServingRouter`
+    shards by payer account so each replica's client-side row cache stays
+    hot.  ``admission`` + ``fallback`` enable overload shedding during
+    rate-driven replays: past the bounded backlog, arrivals are answered by
+    the rule-based fallback instead of queueing unboundedly.
     """
 
     def __init__(
@@ -83,6 +116,9 @@ class AlipayServer:
         model_servers: Sequence[ModelServer] | ModelServer,
         *,
         feature_updater: Optional[StreamingFeatureUpdater] = None,
+        router=None,
+        admission: Optional[AdmissionController] = None,
+        fallback: Optional[RuleBasedFallback] = None,
     ):
         if isinstance(model_servers, ModelServer):
             model_servers = [model_servers]
@@ -90,30 +126,67 @@ class AlipayServer:
             raise ServingError("AlipayServer needs at least one Model Server")
         self._model_servers: List[ModelServer] = list(model_servers)
         self._next_server = 0
+        if router is not None and router.num_replicas != len(self._model_servers):
+            raise ServingError(
+                f"router is sized for {router.num_replicas} replicas, "
+                f"fleet has {len(self._model_servers)}"
+            )
+        self.router = router
+        self.admission = admission
+        self.fallback = fallback if fallback is not None else (
+            RuleBasedFallback() if admission is not None else None
+        )
         self.feature_updater = feature_updater
         self.served: List[ServedTransaction] = []
         self.notifications: List[str] = []
+        #: Stats of the most recent coalesced replay (None before one runs).
+        self.last_coalescer_stats: Optional[Dict[str, float]] = None
 
     # ------------------------------------------------------------------
-    def _pick_server(self) -> ModelServer:
-        """Round-robin load balancing across the distributed MS fleet."""
+    @property
+    def model_servers(self) -> List[ModelServer]:
+        """The Model Server fleet behind this front end."""
+        return list(self._model_servers)
+
+    def _pick_server(self, request: Optional[TransactionRequest] = None) -> ModelServer:
+        """One replica for one request: routed by account, else round-robin."""
+        if self.router is not None and request is not None:
+            return self._model_servers[self.router.route(request.payer_id)]
         server = self._model_servers[self._next_server % len(self._model_servers)]
         self._next_server += 1
         return server
 
     def process(self, request: TransactionRequest, *, was_fraud: Optional[bool] = None) -> ServedTransaction:
         """Run one transfer through the fraud check (score, then ingest)."""
-        server = self._pick_server()
+        server = self._pick_server(request)
         response = server.predict(request)
         if self.feature_updater is not None:
             self.feature_updater.observe_request(request)
         return self._record(request, response, was_fraud)
+
+    def process_degraded(
+        self, request: TransactionRequest, *, was_fraud: Optional[bool] = None
+    ) -> ServedTransaction:
+        """Answer one shed transfer from the rule-based fallback.
+
+        The request is still ingested into the streaming feature engine —
+        shedding degrades the *scoring* path, not the feature state the
+        post-overload requests will be served from.
+        """
+        if self.fallback is None:
+            raise ServingError("no rule-based fallback configured")
+        response = self.fallback.respond(request)
+        if self.feature_updater is not None:
+            self.feature_updater.observe_request(request)
+        return self._record(request, response, was_fraud, degraded=True)
 
     def _record(
         self,
         request: TransactionRequest,
         response: PredictionResponse,
         was_fraud: Optional[bool],
+        *,
+        degraded: bool = False,
     ) -> ServedTransaction:
         if response.is_fraud_alert:
             outcome = TransactionOutcome.INTERRUPTED
@@ -124,7 +197,11 @@ class AlipayServer:
         else:
             outcome = TransactionOutcome.APPROVED
         served = ServedTransaction(
-            request=request, response=response, outcome=outcome, was_fraud=was_fraud
+            request=request,
+            response=response,
+            outcome=outcome,
+            was_fraud=was_fraud,
+            degraded=degraded,
         )
         self.served.append(served)
         return served
@@ -155,6 +232,8 @@ class AlipayServer:
         )
         if len(labels) != len(requests):
             raise ServingError("was_fraud length does not match the batch")
+        if self.router is not None:
+            return self._process_batch_routed(requests, labels)
         num_servers = min(len(self._model_servers), len(requests))
         chunk_bounds = np.linspace(0, len(requests), num_servers + 1).astype(int)
         served: List[ServedTransaction] = []
@@ -172,11 +251,43 @@ class AlipayServer:
                 served.append(self._record(request, response, label))
         return served
 
+    def _process_batch_routed(
+        self,
+        requests: List[TransactionRequest],
+        labels: List[Optional[bool]],
+    ) -> List[ServedTransaction]:
+        """Split one micro-batch by the routing policy instead of contiguously.
+
+        Each replica scores its own accounts' sub-batch in one
+        ``predict_batch`` call; every sub-batch sees the feature state as of
+        the start of the batch (micro-batch freshness, same as the
+        round-robin path), and all requests are ingested afterwards in
+        request order.  Results come back in request order.
+        """
+        groups: dict = {}
+        for index, request in enumerate(requests):
+            groups.setdefault(self.router.route(request.payer_id), []).append(index)
+        responses: List[Optional[PredictionResponse]] = [None] * len(requests)
+        for replica, indices in groups.items():
+            batch_responses = self._model_servers[replica].predict_batch(
+                [requests[index] for index in indices]
+            )
+            for index, response in zip(indices, batch_responses):
+                responses[index] = response
+        served: List[ServedTransaction] = []
+        for request, response, label in zip(requests, responses, labels):
+            if self.feature_updater is not None:
+                self.feature_updater.observe_request(request)
+            served.append(self._record(request, response, label))
+        return served
+
     def replay_transactions(
         self,
         transactions: Iterable[Transaction],
         *,
         batch_size: Optional[int] = None,
+        arrival_rate_per_s: Optional[float] = None,
+        coalescer: Optional[CoalescerConfig] = None,
     ) -> ServingReport:
         """Replay labelled transactions as a true event-time stream.
 
@@ -187,10 +298,34 @@ class AlipayServer:
         With ``batch_size`` set, requests are micro-batched through
         :meth:`process_batch` (the vectorised fleet path); otherwise each
         transaction is scored with a scalar :meth:`process` call.
+
+        ``arrival_rate_per_s`` replays the stream against a simulated arrival
+        clock (request *i* arrives at ``i / rate`` seconds): it drives the
+        attached :class:`~repro.serving.admission.AdmissionController` (shed
+        past-capacity arrivals to the rule-based fallback) and, with a
+        :class:`~repro.serving.coalescer.CoalescerConfig`, deadline-bounded
+        micro-batching of the admitted requests instead of fixed-size
+        batches.  ``coalescer`` and ``batch_size`` are mutually exclusive.
         """
         if batch_size is not None and batch_size < 1:
             raise ServingError("batch_size must be at least 1")
+        if coalescer is not None and batch_size is not None:
+            raise ServingError("pass either batch_size or a coalescer config, not both")
+        if batch_size is not None and arrival_rate_per_s is not None:
+            raise ServingError(
+                "fixed-size batching has no arrival clock; under "
+                "arrival_rate_per_s use a coalescer config for micro-batching"
+            )
+        if (coalescer is not None or self.admission is not None) and arrival_rate_per_s is None:
+            raise ServingError(
+                "coalescing and admission control need an arrival clock; "
+                "pass arrival_rate_per_s"
+            )
+        if arrival_rate_per_s is not None and arrival_rate_per_s <= 0:
+            raise ServingError("arrival_rate_per_s must be positive")
         ordered = sorted(transactions, key=event_order)
+        if arrival_rate_per_s is not None:
+            return self._replay_with_clock(ordered, arrival_rate_per_s, coalescer)
         if batch_size is None:
             for transaction in ordered:
                 request = TransactionRequest.from_transaction(transaction)
@@ -206,6 +341,36 @@ class AlipayServer:
             self._process_transaction_batch(pending)
         return self.report()
 
+    def _replay_with_clock(
+        self,
+        ordered: Sequence[Transaction],
+        arrival_rate_per_s: float,
+        coalescer_config: Optional[CoalescerConfig],
+    ) -> ServingReport:
+        """Replay under a simulated arrival clock (admission + coalescing)."""
+        request_coalescer = (
+            RequestCoalescer(self, coalescer_config) if coalescer_config is not None else None
+        )
+        interval_ms = 1000.0 / arrival_rate_per_s
+        for index, transaction in enumerate(ordered):
+            now_ms = index * interval_ms
+            request = TransactionRequest.from_transaction(transaction)
+            if self.admission is not None:
+                decision = self.admission.on_arrival(now_ms)
+                if decision is AdmissionDecision.DEGRADE:
+                    self.process_degraded(request, was_fraud=transaction.is_fraud)
+                    continue
+            if request_coalescer is not None:
+                request_coalescer.submit(
+                    request, now_ms=now_ms, was_fraud=transaction.is_fraud
+                )
+            else:
+                self.process(request, was_fraud=transaction.is_fraud)
+        if request_coalescer is not None:
+            request_coalescer.flush()
+            self.last_coalescer_stats = request_coalescer.stats()
+        return self.report()
+
     def _process_transaction_batch(self, transactions: Sequence[Transaction]) -> None:
         self.process_batch(
             [TransactionRequest.from_transaction(t) for t in transactions],
@@ -214,6 +379,7 @@ class AlipayServer:
 
     # ------------------------------------------------------------------
     def report(self) -> ServingReport:
+        """Aggregate everything served so far into a :class:`ServingReport`."""
         total = len(self.served)
         interrupted = sum(1 for s in self.served if s.outcome is TransactionOutcome.INTERRUPTED)
         labelled = [s for s in self.served if s.was_fraud is not None]
@@ -233,6 +399,10 @@ class AlipayServer:
             true_alerts=true_alerts,
             false_alerts=false_alerts,
             missed_frauds=missed,
+            degraded=sum(1 for s in self.served if s.degraded),
+            peak_queue_depth=(
+                self.admission.peak_queue_depth if self.admission is not None else 0.0
+            ),
         )
 
     def latency_report(self) -> Dict[str, float]:

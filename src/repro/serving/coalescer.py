@@ -1,0 +1,143 @@
+"""Request coalescing: micro-batching concurrent requests under a latency budget.
+
+The vectorised ``ModelServer.predict_batch`` path amortises the HBase
+``multi_get``, the plan execution and the model call over a whole batch — but
+online traffic arrives one transfer at a time.  The
+:class:`RequestCoalescer` bridges the two: requests are buffered as they
+arrive and flushed as one ``process_batch`` call when either
+
+* the buffer reaches ``max_batch`` (a *full* flush — the throughput bound), or
+* the oldest buffered request has waited ``max_delay_ms`` (a *deadline*
+  flush — the latency bound: coalescing can add at most ``max_delay_ms`` of
+  queueing delay to any request).
+
+Time is explicit (callers pass ``now_ms``), so the same coalescer runs under
+the simulated replay clock in tests/benchmarks and under a wall clock in a
+real event loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.exceptions import ServingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.alipay import AlipayServer, ServedTransaction
+    from repro.serving.model_server import TransactionRequest
+
+
+@dataclass(frozen=True)
+class CoalescerConfig:
+    """Latency-budgeted micro-batching policy.
+
+    ``max_batch`` bounds the batch size (flush as soon as it is reached);
+    ``max_delay_ms`` bounds how long any request may sit in the buffer
+    waiting for companions.
+    """
+
+    max_batch: int = 64
+    max_delay_ms: float = 5.0
+
+    def validate(self) -> None:
+        """Reject empty batches and negative delay budgets."""
+        if self.max_batch < 1:
+            raise ServingError("max_batch must be at least 1")
+        if self.max_delay_ms < 0:
+            raise ServingError("max_delay_ms cannot be negative")
+
+
+class RequestCoalescer:
+    """Buffers requests and flushes deadline-bounded micro-batches.
+
+    Drives an :class:`~repro.serving.alipay.AlipayServer`'s ``process_batch``
+    (which routes each flushed batch through the configured fleet policy).
+    """
+
+    def __init__(self, alipay: "AlipayServer", config: Optional[CoalescerConfig] = None):
+        self.alipay = alipay
+        self.config = config or CoalescerConfig()
+        self.config.validate()
+        self._pending: List[Tuple["TransactionRequest", Optional[bool], float]] = []
+        self.full_flushes = 0
+        self.deadline_flushes = 0
+        self.forced_flushes = 0
+        self.requests_coalesced = 0
+        self._batch_sizes: List[int] = []
+        self._wait_ms: List[float] = []
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def submit(
+        self,
+        request: "TransactionRequest",
+        *,
+        now_ms: float,
+        was_fraud: Optional[bool] = None,
+    ) -> List["ServedTransaction"]:
+        """Buffer one arriving request; returns whatever flushed at ``now_ms``.
+
+        The deadline of already-buffered requests is checked first, so a
+        request arriving after a long gap cannot extend its predecessors'
+        wait beyond ``max_delay_ms`` of *their* arrival.
+        """
+        served = self.advance(now_ms)
+        self._pending.append((request, was_fraud, float(now_ms)))
+        if len(self._pending) >= self.config.max_batch:
+            self.full_flushes += 1
+            served.extend(self._flush(now_ms))
+        return served
+
+    def advance(self, now_ms: float) -> List["ServedTransaction"]:
+        """Flush the buffer if its oldest request's deadline has passed.
+
+        The flush is timestamped at the *deadline* (``oldest arrival +
+        max_delay_ms``), not at ``now_ms`` — a real event loop arms a timer
+        that fires at the deadline, so even when this simulated clock is only
+        driven at arrival instants, no request's recorded wait ever exceeds
+        the ``max_delay_ms`` budget.
+        """
+        if not self._pending:
+            return []
+        deadline_ms = self._pending[0][2] + self.config.max_delay_ms
+        if now_ms >= deadline_ms:
+            self.deadline_flushes += 1
+            return self._flush(deadline_ms)
+        return []
+
+    def flush(self, *, now_ms: Optional[float] = None) -> List["ServedTransaction"]:
+        """Force out whatever is buffered (end-of-stream drain)."""
+        if not self._pending:
+            return []
+        self.forced_flushes += 1
+        if now_ms is None:
+            now_ms = self._pending[-1][2]
+        return self._flush(now_ms)
+
+    def _flush(self, now_ms: float) -> List["ServedTransaction"]:
+        batch, self._pending = self._pending, []
+        self._batch_sizes.append(len(batch))
+        self.requests_coalesced += len(batch)
+        self._wait_ms.extend(now_ms - arrival for _, _, arrival in batch)
+        return self.alipay.process_batch(
+            [request for request, _, _ in batch],
+            was_fraud=[label for _, label, _ in batch],
+        )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, float]:
+        """Batching effectiveness: flush causes, batch sizes, queue waits."""
+        batches = len(self._batch_sizes)
+        return {
+            "requests": float(self.requests_coalesced),
+            "batches": float(batches),
+            "mean_batch": self.requests_coalesced / batches if batches else 0.0,
+            "full_flushes": float(self.full_flushes),
+            "deadline_flushes": float(self.deadline_flushes),
+            "forced_flushes": float(self.forced_flushes),
+            "mean_wait_ms": sum(self._wait_ms) / len(self._wait_ms) if self._wait_ms else 0.0,
+            "max_wait_ms": max(self._wait_ms) if self._wait_ms else 0.0,
+        }

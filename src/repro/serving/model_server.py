@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.datagen.schema import Transaction, TransactionChannel
 from repro.exceptions import ModelNotLoadedError, ServingError
 from repro.features.plan import FeaturePlan, FeaturePlanExecutor
@@ -124,6 +126,7 @@ class ModelServerConfig:
     sla_budget_ms: float = 50.0
 
     def validate(self) -> None:
+        """Reject out-of-range thresholds and non-positive SLA budgets."""
         if not 0.0 <= self.alert_threshold <= 1.0:
             raise ServingError("alert_threshold must be in [0, 1]")
         if self.sla_budget_ms <= 0:
@@ -146,6 +149,28 @@ class ServingModel:
             raise ServingError("threshold must be in [0, 1]")
 
 
+@dataclass
+class ShadowReport:
+    """Divergence of a shadow-scored challenger from the active champion.
+
+    ``mean_abs_divergence`` is the mean absolute difference of the two fraud
+    probabilities; ``decision_flips`` counts requests where the two models'
+    alert decisions (each against its own threshold) disagree.
+    """
+
+    champion_version: str
+    challenger_version: str
+    requests: int
+    mean_abs_divergence: float
+    max_abs_divergence: float
+    decision_flips: int
+
+    @property
+    def decision_flip_rate(self) -> float:
+        """Fraction of shadow-scored requests whose alert decision flipped."""
+        return self.decision_flips / self.requests if self.requests else 0.0
+
+
 class ModelServer:
     """One Model Server instance."""
 
@@ -160,6 +185,10 @@ class ModelServer:
         self._feature_table = self.config.feature_table
         self._active: Optional[ServingModel] = None
         self._executor: Optional[FeaturePlanExecutor] = None
+        self._shadow: Optional[ServingModel] = None
+        self._shadow_executor: Optional[FeaturePlanExecutor] = None
+        self._shadow_abs_diffs: List[float] = []
+        self._shadow_flips = 0
         self.latency = LatencyTracker(sla_budget_ms=self.config.sla_budget_ms)
         self.requests_served = 0
 
@@ -184,35 +213,102 @@ class ModelServer:
         """
         if not model.is_fitted:
             raise ServingError("cannot load an unfitted model into the Model Server")
-        if plan is not None and (embedding_specs is not None or embedding_side is not None):
-            raise ServingError("pass either a FeaturePlan or embedding specs, not both")
-        if plan is None:
-            plan = FeaturePlan.from_specs(
-                embedding_specs or (), embedding_side=embedding_side or "both"
-            )
         self._active = ServingModel(
             model=model,
             version=version,
             threshold=self.config.alert_threshold if threshold is None else float(threshold),
-            plan=plan,
+            plan=self._resolve_plan(plan, embedding_specs, embedding_side),
         )
         self._rebuild_executor()
         logger.info(
             "model %s loaded (threshold %.3f, %d features)",
             version,
             self._active.threshold,
-            plan.num_features,
+            self._active.plan.num_features,
+        )
+
+    @staticmethod
+    def _resolve_plan(
+        plan: Optional[FeaturePlan],
+        embedding_specs: Optional[Sequence[tuple]],
+        embedding_side: Optional[str],
+    ) -> FeaturePlan:
+        if plan is not None and (embedding_specs is not None or embedding_side is not None):
+            raise ServingError("pass either a FeaturePlan or embedding specs, not both")
+        if plan is None:
+            plan = FeaturePlan.from_specs(
+                embedding_specs or (), embedding_side=embedding_side or "both"
+            )
+        return plan
+
+    def load_shadow_model(
+        self,
+        model: BaseDetector,
+        *,
+        version: str,
+        threshold: Optional[float] = None,
+        plan: Optional[FeaturePlan] = None,
+        embedding_specs: Optional[Sequence[tuple]] = None,
+        embedding_side: Optional[str] = None,
+    ) -> None:
+        """Install a challenger that shadow-scores live traffic.
+
+        Every subsequent :meth:`predict_batch` also assembles the shadow's
+        own plan and scores the challenger on the same requests; only the
+        champion's decisions are returned to callers, while the divergence
+        between the two is accumulated for :meth:`shadow_report`.  Loading a
+        new shadow resets the accumulated divergence stats.
+        """
+        if not model.is_fitted:
+            raise ServingError("cannot shadow an unfitted model")
+        self._shadow = ServingModel(
+            model=model,
+            version=version,
+            threshold=self.config.alert_threshold if threshold is None else float(threshold),
+            plan=self._resolve_plan(plan, embedding_specs, embedding_side),
+        )
+        self._shadow_abs_diffs = []
+        self._shadow_flips = 0
+        self._rebuild_executor()
+
+    def clear_shadow_model(self) -> Optional[ShadowReport]:
+        """Stop shadow scoring; returns the final divergence report (if any)."""
+        report = self.shadow_report()
+        self._shadow = None
+        self._shadow_executor = None
+        self._shadow_abs_diffs = []
+        self._shadow_flips = 0
+        return report
+
+    def shadow_report(self) -> Optional[ShadowReport]:
+        """Champion-vs-challenger divergence so far (None without a shadow)."""
+        if self._shadow is None or self._active is None:
+            return None
+        diffs = self._shadow_abs_diffs
+        return ShadowReport(
+            champion_version=self._active.version,
+            challenger_version=self._shadow.version,
+            requests=len(diffs),
+            mean_abs_divergence=float(np.mean(diffs)) if diffs else 0.0,
+            max_abs_divergence=float(np.max(diffs)) if diffs else 0.0,
+            decision_flips=self._shadow_flips,
         )
 
     def _rebuild_executor(self) -> None:
         if self._active is None:
             self._executor = None
-            return
-        source = HBaseFeatureSource(self.hbase, self._feature_table)
-        self._executor = FeaturePlanExecutor(self._active.plan, source)
+        else:
+            source = HBaseFeatureSource(self.hbase, self._feature_table)
+            self._executor = FeaturePlanExecutor(self._active.plan, source)
+        if self._shadow is None:
+            self._shadow_executor = None
+        else:
+            source = HBaseFeatureSource(self.hbase, self._feature_table)
+            self._shadow_executor = FeaturePlanExecutor(self._shadow.plan, source)
 
     @property
     def feature_table(self) -> str:
+        """Name of the HBase table this server reads feature rows from."""
         return self._feature_table
 
     @feature_table.setter
@@ -222,7 +318,13 @@ class ModelServer:
 
     @property
     def active_model(self) -> Optional[ServingModel]:
+        """The champion serving unit currently answering requests."""
         return self._active
+
+    @property
+    def shadow_version(self) -> str:
+        """Version of the shadow-scored challenger ('' when none installed)."""
+        return self._shadow.version if self._shadow is not None else ""
 
     @property
     def plan_executor(self) -> Optional[FeaturePlanExecutor]:
@@ -236,10 +338,12 @@ class ModelServer:
 
     @property
     def model_version(self) -> str:
+        """Version string of the active model ('' before the first load)."""
         return self._active.version if self._active is not None else ""
 
     @property
     def alert_threshold(self) -> float:
+        """The alert threshold decisions are made against right now."""
         return (
             self._active.threshold
             if self._active is not None
@@ -248,6 +352,7 @@ class ModelServer:
 
     @property
     def has_model(self) -> bool:
+        """True once a model has been loaded (the server can answer)."""
         return self._active is not None
 
     # ------------------------------------------------------------------
@@ -278,6 +383,21 @@ class ModelServer:
         matrix = executor.assemble(transactions, with_labels=False)
         probabilities = active.model.predict_proba(matrix.values)
         per_request_ms = watch.stop() * 1000.0 / len(requests)
+        if self._shadow is not None and self._shadow_executor is not None:
+            # Shadow scoring is off the latency clock: in production the
+            # challenger scores on a mirrored copy of the traffic, not in the
+            # caller's critical path.
+            shadow_matrix = self._shadow_executor.assemble(transactions, with_labels=False)
+            shadow_probabilities = self._shadow.model.predict_proba(shadow_matrix.values)
+            self._shadow_abs_diffs.extend(
+                np.abs(np.asarray(shadow_probabilities) - np.asarray(probabilities)).tolist()
+            )
+            self._shadow_flips += int(
+                np.sum(
+                    (np.asarray(probabilities) >= active.threshold)
+                    != (np.asarray(shadow_probabilities) >= self._shadow.threshold)
+                )
+            )
         responses: List[PredictionResponse] = []
         for request, probability in zip(requests, probabilities):
             probability = float(probability)

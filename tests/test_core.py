@@ -232,6 +232,29 @@ class TestPipelineAndExperiment:
         report = alipay.replay_transactions(dataset.test_transactions[:50])
         assert report.total == 50
 
+    def test_deploy_fleet_registry_supersedes_retrained_bundle(self, experiment_runner):
+        """Regression: redeploying a retrained bundle whose version string
+        already exists in the registry must serve the *new* detector, not the
+        stale registration."""
+        dataset = experiment_runner.datasets()[0]
+        preparation = experiment_runner.preparation_for(dataset)
+        configuration = Table1Configuration(5, DetectorName.GBDT, FeatureSetName.BASIC)
+        pipeline = experiment_runner.pipeline
+
+        registry = ModelRegistry()
+        hbase = HBaseClient()
+        server = ModelServer(hbase, ModelServerConfig())
+        first = pipeline.train(preparation, configuration)
+        pipeline.deploy_fleet(first, preparation, hbase, [server], registry=registry)
+        assert server.active_model.model is first.detector
+
+        retrained = pipeline.train(preparation, configuration)
+        assert retrained.version == first.version
+        assert retrained.detector is not first.detector
+        pipeline.deploy_fleet(retrained, preparation, hbase, [server], registry=registry)
+        assert registry.get(retrained.version).model is retrained.detector
+        assert server.active_model.model is retrained.detector
+
 
 @settings(max_examples=25, deadline=None)
 @given(
