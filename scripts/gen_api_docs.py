@@ -129,6 +129,27 @@ PUBLIC_API = [
         "batched reads.",
     ),
     (
+        "Async serving front end",
+        "repro.serving.async_server",
+        ["AsyncServingFrontEnd"],
+        "Event-loop coalescing: concurrent awaited requests flushed by a "
+        "real wall-clock deadline timer instead of a simulated clock.",
+    ),
+    (
+        "Process-backed parameter server",
+        "repro.kunpeng.parallel",
+        ["ProcessShardRuntime", "SharedBlockManager"],
+        "Each PS shard a live OS process applying updates to shared-memory "
+        "parameter blocks — measured, not simulated, parallelism.",
+    ),
+    (
+        "Cluster cost model",
+        "repro.kunpeng.cost_model",
+        ["ClusterCostModel", "MeasuredRound"],
+        "Training-time estimates per machine count, calibratable against "
+        "wall-clock rounds measured on the process backend.",
+    ),
+    (
         "Distributed training",
         "repro.models.distributed",
         ["DistributedGBDT"],

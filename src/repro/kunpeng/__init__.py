@@ -14,6 +14,9 @@ semantics the paper relies on:
 * worker data partitions and synchronous training rounds
   (:mod:`repro.kunpeng.worker`),
 * failure injection and recovery (:mod:`repro.kunpeng.failover`),
+* an optional *process* backend that hosts each server shard in a real OS
+  process over shared memory, for measured — not simulated — parallelism
+  (:mod:`repro.kunpeng.parallel`),
 * a calibrated cost model that converts the simulated cluster's workload into
   wall-clock estimates per machine count — the quantity Figure 10 plots
   (:mod:`repro.kunpeng.cost_model`).
@@ -24,6 +27,7 @@ from repro.kunpeng.worker import WorkerNode
 from repro.kunpeng.cluster import KunPengCluster, ClusterConfig
 from repro.kunpeng.cost_model import (
     ClusterCostModel,
+    MeasuredRound,
     TrainingTimeEstimate,
     deepwalk_round_volume,
     estimate_deepwalk_time,
@@ -31,6 +35,7 @@ from repro.kunpeng.cost_model import (
     gbdt_round_volume,
 )
 from repro.kunpeng.failover import FailureInjector
+from repro.kunpeng.parallel import ProcessShardRuntime, SharedBlockManager
 
 __all__ = [
     "ParameterServerNode",
@@ -38,10 +43,13 @@ __all__ = [
     "KunPengCluster",
     "ClusterConfig",
     "ClusterCostModel",
+    "MeasuredRound",
     "TrainingTimeEstimate",
     "deepwalk_round_volume",
     "estimate_deepwalk_time",
     "estimate_gbdt_time",
     "gbdt_round_volume",
     "FailureInjector",
+    "ProcessShardRuntime",
+    "SharedBlockManager",
 ]

@@ -11,13 +11,19 @@ Figure 10.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import ParameterServerError
 from repro.kunpeng.server import ParameterServerNode
 from repro.kunpeng.worker import WorkerNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kunpeng.parallel import ProcessShardRuntime
+
+#: Supported :class:`KunPengCluster` backends.
+BACKENDS = ("inline", "process")
 
 
 @dataclass
@@ -87,11 +93,31 @@ class CommunicationLog:
 
 
 class KunPengCluster:
-    """A simulated PS cluster: parameter routing plus workload accounting."""
+    """A PS cluster: parameter routing plus workload accounting.
 
-    def __init__(self, config: ClusterConfig | None = None):
+    ``backend`` selects where shard state lives and who applies updates:
+
+    * ``"inline"`` (default) — every shard is a :class:`ParameterServerNode`
+      in this process; deterministic and dependency-free, the simulation
+      backend used throughout the test suite.
+    * ``"process"`` — every shard runs in its own OS process with blocks in
+      shared memory (:class:`~repro.kunpeng.parallel.ProcessShardRuntime`);
+      pushes overlap driver compute, pulls are fenced zero-copy reads, and
+      results are bit-exact with the inline backend because each shard
+      applies its command stream in issue order.
+
+    Routing, placement and communication accounting are backend-independent;
+    only the per-shard data operation dispatches.
+    """
+
+    def __init__(self, config: ClusterConfig | None = None, *, backend: str = "inline"):
         self.config = config or ClusterConfig()
         self.config.validate()
+        if backend not in BACKENDS:
+            raise ParameterServerError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        self.backend = backend
         self.servers: List[ParameterServerNode] = [
             ParameterServerNode(node_id=i) for i in range(self.config.num_servers)
         ]
@@ -103,6 +129,36 @@ class KunPengCluster:
         self._placements: Dict[str, List[Tuple[int, int, int]]] = {}
         #: ``name -> embedding dimension`` (column count of the hosted matrix)
         self._dimensions: Dict[str, int] = {}
+        self._runtime: Optional["ProcessShardRuntime"] = None
+
+    @property
+    def runtime(self) -> "ProcessShardRuntime":
+        """The process-backend shard runtime (started lazily on first use)."""
+        if self.backend != "process":
+            raise ParameterServerError("runtime is only available on the process backend")
+        if self._runtime is None:
+            from repro.kunpeng.parallel import ProcessShardRuntime
+
+            self._runtime = ProcessShardRuntime(len(self.servers))
+        return self._runtime
+
+    def close(self) -> None:
+        """Release backend resources (shard processes, shared memory).
+
+        A no-op on the inline backend; always safe and idempotent, so
+        drivers can call it unconditionally.
+        """
+        if self._runtime is not None:
+            self._runtime.stop()
+            self._runtime = None
+
+    def __enter__(self) -> "KunPengCluster":
+        """Enter a ``with`` block that closes the cluster backend on exit."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Close the backend (stop shard processes) when the block ends."""
+        self.close()
 
     # ------------------------------------------------------------------
     # Parameter placement and routing
@@ -122,9 +178,12 @@ class KunPengCluster:
             row_start, row_end = int(boundaries[server_index]), int(boundaries[server_index + 1])
             if row_end <= row_start:
                 continue
-            self.servers[server_index].host_shard(
-                name, row_start, row_end, matrix[row_start:row_end]
-            )
+            if self.backend == "process":
+                self.runtime.host(server_index, name, row_start, matrix[row_start:row_end])
+            else:
+                self.servers[server_index].host_shard(
+                    name, row_start, row_end, matrix[row_start:row_end]
+                )
             placements.append((row_start, row_end, server_index))
         self._placements[name] = placements
         self._dimensions[name] = int(matrix.shape[1])
@@ -144,7 +203,11 @@ class KunPengCluster:
             by_server.setdefault(server.node_id, []).append(row)
         result: Dict[int, np.ndarray] = {}
         for server_id, server_rows in by_server.items():
-            result.update(self.servers[server_id].pull(name, server_rows))
+            if self.backend == "process":
+                block = self.runtime.read(server_id, name, np.asarray(server_rows, dtype=np.int64))
+                result.update({row: block[i].copy() for i, row in enumerate(server_rows)})
+            else:
+                result.update(self.servers[server_id].pull(name, server_rows))
             self.communication.record_pull(len(server_rows))
         return result
 
@@ -165,7 +228,10 @@ class KunPengCluster:
             count = int(mask.sum())
             if count == 0:
                 continue
-            result[mask] = self.servers[server_index].pull_block(name, rows[mask])
+            if self.backend == "process":
+                result[mask] = self.runtime.read(server_index, name, rows[mask])
+            else:
+                result[mask] = self.servers[server_index].pull_block(name, rows[mask])
             self.communication.record_pull(count)
             matched += count
         if matched != rows.shape[0]:
@@ -184,15 +250,25 @@ class KunPengCluster:
         if name not in self._placements:
             raise ParameterServerError(f"unknown parameter {name!r}")
         rows = np.asarray(rows, dtype=np.int64)
+        gradients = np.asarray(gradients, dtype=np.float64)
+        if gradients.shape != (rows.shape[0], self._dimensions[name]):
+            raise ParameterServerError("pushed gradient block shape does not match rows")
         matched = 0
         for row_start, row_end, server_index in self._placements[name]:
             mask = (rows >= row_start) & (rows < row_end)
             count = int(mask.sum())
             if count == 0:
                 continue
-            self.servers[server_index].push_block(
-                name, rows[mask], gradients[mask], learning_rate=learning_rate
-            )
+            if self.backend == "process":
+                # Fire-and-forget: the owning shard process applies the update
+                # while the driver moves on to the next batch.
+                self.runtime.push(
+                    server_index, name, rows[mask], gradients[mask], learning_rate=learning_rate
+                )
+            else:
+                self.servers[server_index].push_block(
+                    name, rows[mask], gradients[mask], learning_rate=learning_rate
+                )
             self.communication.record_push(count)
             matched += count
         if matched != rows.shape[0]:
@@ -220,7 +296,10 @@ class KunPengCluster:
         if name not in self._placements:
             raise ParameterServerError(f"unknown parameter {name!r}")
         for _row_start, _row_end, server_index in self._placements[name]:
-            self.servers[server_index].reset_shard(name)
+            if self.backend == "process":
+                self.runtime.reset(server_index, name)
+            else:
+                self.servers[server_index].reset_shard(name)
 
     def pull_matrix(self, name: str) -> np.ndarray:
         """Reassemble the full parameter matrix (checkpoint / final download)."""
@@ -229,7 +308,10 @@ class KunPengCluster:
         placements = sorted(self._placements[name])
         pieces = []
         for row_start, row_end, server_index in placements:
-            shard = self.servers[server_index].pull_all(name)
+            if self.backend == "process":
+                shard = self.runtime.read(server_index, name)
+            else:
+                shard = self.servers[server_index].pull_all(name)
             self.communication.record_pull(row_end - row_start)
             pieces.append(shard)
         return np.vstack(pieces)
@@ -247,16 +329,33 @@ class KunPengCluster:
             server = self._owner(name, row)
             by_server.setdefault(server.node_id, {})[row] = gradient
         for server_id, server_gradients in by_server.items():
-            self.servers[server_id].push(name, server_gradients, learning_rate=learning_rate)
+            if self.backend == "process":
+                # Dict keys are unique rows, so the vectorised ``subtract.at``
+                # in the shard process matches the inline per-row loop exactly.
+                grad_rows = np.fromiter(server_gradients, dtype=np.int64, count=len(server_gradients))
+                stacked = np.stack(
+                    [np.asarray(g, dtype=np.float64) for g in server_gradients.values()]
+                )
+                self.runtime.push(server_id, name, grad_rows, stacked, learning_rate=learning_rate)
+            else:
+                self.servers[server_id].push(name, server_gradients, learning_rate=learning_rate)
             self.communication.record_push(len(server_gradients))
 
     def push_model_average(self, name: str, replicas: Sequence[np.ndarray]) -> None:
         """Average full worker replicas of a parameter matrix (word2vec style)."""
         if name not in self._placements:
             raise ParameterServerError(f"unknown parameter {name!r}")
+        if not replicas:
+            raise ParameterServerError("push_average needs at least one replica")
         for row_start, row_end, server_index in self._placements[name]:
             shard_replicas = [replica[row_start:row_end] for replica in replicas]
-            self.servers[server_index].push_average(name, shard_replicas)
+            if self.backend == "process":
+                stacked = np.stack(
+                    [np.asarray(r, dtype=np.float64) for r in shard_replicas]
+                )
+                self.runtime.average(server_index, name, stacked)
+            else:
+                self.servers[server_index].push_average(name, shard_replicas)
             self.communication.record_push((row_end - row_start) * len(replicas))
 
     # ------------------------------------------------------------------

@@ -19,11 +19,38 @@ GBDT flattens after 20.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.kunpeng.cluster import ClusterConfig
+
+
+@dataclass(frozen=True)
+class MeasuredRound:
+    """One measured training run, the unit of cost-model calibration.
+
+    Pairs the workload description the model estimates from (the same three
+    numbers :meth:`ClusterCostModel.estimate` takes, plus the cluster sizing)
+    with the wall-clock seconds the run actually took, as measured by
+    ``bench_parallel_ps.py`` on the process backend.
+    """
+
+    cluster: ClusterConfig
+    total_compute_units: float
+    comm_values_per_round: float
+    num_rounds: int
+    measured_seconds: float
+
+    def validate(self) -> None:
+        """Reject measurements the fit cannot use."""
+        self.cluster.validate()
+        if self.measured_seconds <= 0:
+            raise ConfigurationError("measured_seconds must be positive")
+        if self.num_rounds < 1:
+            raise ConfigurationError("num_rounds must be at least 1")
 
 
 @dataclass
@@ -46,6 +73,7 @@ class ClusterCostModel:
     straggler_factor: float = 0.08
 
     def validate(self) -> None:
+        """Reject negative cost constants."""
         for name in (
             "compute_seconds_per_unit",
             "comm_seconds_per_value",
@@ -93,6 +121,88 @@ class ClusterCostModel:
             overhead_seconds=overhead,
             total_seconds=total,
         )
+
+    # ------------------------------------------------------------------
+    def _design_row(self, measurement: MeasuredRound) -> List[float]:
+        """The estimate's four cost terms with their constants factored out.
+
+        :meth:`estimate` is linear in the four per-unit constants once the
+        ``straggler_factor`` is held fixed, which is what makes calibration a
+        least-squares problem.
+        """
+        workers = measurement.cluster.num_workers
+        servers = measurement.cluster.num_servers
+        return [
+            measurement.total_compute_units
+            / workers
+            * (1.0 + self.straggler_factor * _log2(workers)),
+            measurement.comm_values_per_round
+            * measurement.num_rounds
+            * (1.0 + 0.15 * _log2(servers)),
+            measurement.num_rounds * _log2(workers + 1),
+            float(measurement.cluster.num_machines),
+        ]
+
+    def calibrate(self, measured_round_times: Sequence[MeasuredRound]) -> "ClusterCostModel":
+        """Fit the four cost constants to measured wall-clock run times.
+
+        Solves the non-negative least-squares problem ``measured ≈ X @ c``
+        where ``X`` holds the four cost terms of :meth:`estimate` (compute,
+        communication, synchronisation, per-machine overhead) evaluated per
+        measurement, via an active-set iteration: solve unconstrained, clamp
+        negative constants to zero, re-solve over the survivors.  Returns a
+        new model (``straggler_factor`` kept); ``self`` is unchanged.
+        """
+        if not measured_round_times:
+            raise ConfigurationError("calibrate needs at least one measurement")
+        for measurement in measured_round_times:
+            measurement.validate()
+        design = np.array(
+            [self._design_row(m) for m in measured_round_times], dtype=np.float64
+        )
+        target = np.array(
+            [m.measured_seconds for m in measured_round_times], dtype=np.float64
+        )
+        active = list(range(design.shape[1]))
+        coefficients = np.zeros(design.shape[1])
+        while active:
+            solution, *_ = np.linalg.lstsq(design[:, active], target, rcond=None)
+            if np.all(solution >= 0.0):
+                coefficients[:] = 0.0
+                coefficients[active] = solution
+                break
+            active = [index for index, value in zip(active, solution) if value > 0.0]
+        fitted = replace(
+            self,
+            compute_seconds_per_unit=float(coefficients[0]),
+            comm_seconds_per_value=float(coefficients[1]),
+            sync_seconds_per_round=float(coefficients[2]),
+            per_machine_overhead_seconds=float(coefficients[3]),
+        )
+        fitted.validate()
+        return fitted
+
+    def relative_errors(self, measured_round_times: Sequence[MeasuredRound]) -> List[float]:
+        """Per-measurement ``|estimate - measured| / measured`` of this model.
+
+        The bench calibrates on its measured rounds and asserts
+        ``max(relative_errors(...))`` stays under a stated bound — the
+        model-validation loop the simulated backend could never close.
+        """
+        errors: List[float] = []
+        for measurement in measured_round_times:
+            measurement.validate()
+            estimate = self.estimate(
+                total_compute_units=measurement.total_compute_units,
+                comm_values_per_round=measurement.comm_values_per_round,
+                num_rounds=measurement.num_rounds,
+                cluster=measurement.cluster,
+            )
+            errors.append(
+                abs(estimate.total_seconds - measurement.measured_seconds)
+                / measurement.measured_seconds
+            )
+        return errors
 
 
 def _log2(value: float) -> float:

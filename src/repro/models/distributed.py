@@ -85,6 +85,7 @@ class DistributedLogisticRegression(BaseDetector):
         learning_rate: float = 0.5,
         l2: float = 1e-4,
         failure_probability: float = 0.0,
+        backend: str = "inline",
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
@@ -99,7 +100,7 @@ class DistributedLogisticRegression(BaseDetector):
         self.failure_probability = failure_probability
         self.seed = seed
         self._rng = ensure_rng(seed)
-        self.cluster = KunPengCluster(self.cluster_config)
+        self.cluster = KunPengCluster(self.cluster_config, backend=backend)
         self.failure_injector = FailureInjector(
             self.cluster,
             failure_probability=failure_probability,
@@ -188,6 +189,10 @@ class DistributedLogisticRegression(BaseDetector):
     def estimate_time(self, cost_model: ClusterCostModel | None = None) -> TrainingTimeEstimate:
         return _estimate_from_rounds(self.cluster, self.stats, self.cluster_config, cost_model)
 
+    def close(self) -> None:
+        """Release the cluster backend (shard processes, shared memory)."""
+        self.cluster.close()
+
 
 def _estimate_from_rounds(
     cluster: KunPengCluster,
@@ -258,6 +263,7 @@ class DistributedGBDT(BaseDetector):
         tree_method: str = "hist",
         num_bins: int = 64,
         failure_probability: float = 0.0,
+        backend: str = "inline",
         seed: Optional[int] = None,
     ) -> None:
         super().__init__()
@@ -279,7 +285,7 @@ class DistributedGBDT(BaseDetector):
         # single-machine fit; the failure injector gets an independently
         # derived stream so injecting failures never shifts the subsamples.
         self._rng = ensure_rng(seed)
-        self.cluster = KunPengCluster(self.cluster_config)
+        self.cluster = KunPengCluster(self.cluster_config, backend=backend)
         self.failure_injector = FailureInjector(
             self.cluster,
             failure_probability=failure_probability,
@@ -599,6 +605,10 @@ class DistributedGBDT(BaseDetector):
     def estimate_time(self, cost_model: ClusterCostModel | None = None) -> TrainingTimeEstimate:
         """Analytic wall-clock estimate fed by the measured per-round volumes."""
         return _estimate_from_rounds(self.cluster, self.stats, self.cluster_config, cost_model)
+
+    def close(self) -> None:
+        """Release the cluster backend (shard processes, shared memory)."""
+        self.cluster.close()
 
 
 def _apply_decisions(

@@ -81,6 +81,9 @@ class DistributedDeepWalkConfig:
     rounds_per_epoch: int = 5
     #: Probability that a worker crashes before a round (fault-tolerance tests).
     failure_probability: float = 0.0
+    #: PS backend: ``"inline"`` (in-process simulation) or ``"process"``
+    #: (real shard processes over shared memory); results are equivalent.
+    backend: str = "inline"
     seed: Optional[int] = None
 
     def validate(self) -> None:
@@ -137,7 +140,7 @@ class DistributedDeepWalk(NRLModel):
         self.config = config or DistributedDeepWalkConfig()
         self.config.validate()
         self._rng = ensure_rng(self.config.seed if rng is None else rng)
-        self.cluster = KunPengCluster(self.config.cluster)
+        self.cluster = KunPengCluster(self.config.cluster, backend=self.config.backend)
         self.failure_injector = FailureInjector(
             self.cluster,
             failure_probability=self.config.failure_probability,
@@ -430,6 +433,10 @@ class DistributedDeepWalk(NRLModel):
         if self._embeddings is None:
             raise EmbeddingError("DistributedDeepWalk has not been fitted")
         return self._embeddings
+
+    def close(self) -> None:
+        """Release the cluster backend (shard processes, shared memory)."""
+        self.cluster.close()
 
     def workload_summary(self) -> Dict[str, float]:
         """Compute/communication totals of the finished run (cost-model input)."""

@@ -38,6 +38,7 @@ from repro.serving.admission import (
     default_fraud_rules,
 )
 from repro.serving.streaming import StreamingFeatureUpdater
+from repro.serving.async_server import AsyncServingFrontEnd
 from repro.serving.alipay import (
     AlipayServer,
     ServedTransaction,
@@ -62,6 +63,7 @@ __all__ = [
     "fleet_cache_stats",
     "CoalescerConfig",
     "RequestCoalescer",
+    "AsyncServingFrontEnd",
     "AdmissionConfig",
     "AdmissionController",
     "AdmissionDecision",

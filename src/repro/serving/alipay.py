@@ -288,6 +288,7 @@ class AlipayServer:
         batch_size: Optional[int] = None,
         arrival_rate_per_s: Optional[float] = None,
         coalescer: Optional[CoalescerConfig] = None,
+        clock: str = "simulated",
     ) -> ServingReport:
         """Replay labelled transactions as a true event-time stream.
 
@@ -306,7 +307,21 @@ class AlipayServer:
         :class:`~repro.serving.coalescer.CoalescerConfig`, deadline-bounded
         micro-batching of the admitted requests instead of fixed-size
         batches.  ``coalescer`` and ``batch_size`` are mutually exclusive.
+
+        ``clock`` selects how the arrival clock advances: ``"simulated"``
+        (default) steps a deterministic logical clock, ``"wall"`` runs the
+        same stream through the asyncio front end
+        (:class:`~repro.serving.async_server.AsyncServingFrontEnd`) with real
+        sleeps between arrivals and wall-clock flush deadlines — one replay
+        entry point for both the deterministic tests and the event-loop
+        path.  ``clock="wall"`` requires ``arrival_rate_per_s``; the event
+        loop always coalesces, so a missing ``coalescer`` config means the
+        default :class:`~repro.serving.coalescer.CoalescerConfig`.
         """
+        if clock not in ("simulated", "wall"):
+            raise ServingError(f"clock must be 'simulated' or 'wall', got {clock!r}")
+        if clock == "wall" and arrival_rate_per_s is None:
+            raise ServingError("clock='wall' needs arrival_rate_per_s")
         if batch_size is not None and batch_size < 1:
             raise ServingError("batch_size must be at least 1")
         if coalescer is not None and batch_size is not None:
@@ -324,6 +339,8 @@ class AlipayServer:
         if arrival_rate_per_s is not None and arrival_rate_per_s <= 0:
             raise ServingError("arrival_rate_per_s must be positive")
         ordered = sorted(transactions, key=event_order)
+        if clock == "wall":
+            return self._replay_wall(ordered, arrival_rate_per_s, coalescer)
         if arrival_rate_per_s is not None:
             return self._replay_with_clock(ordered, arrival_rate_per_s, coalescer)
         if batch_size is None:
@@ -369,6 +386,43 @@ class AlipayServer:
         if request_coalescer is not None:
             request_coalescer.flush()
             self.last_coalescer_stats = request_coalescer.stats()
+        return self.report()
+
+    def _replay_wall(
+        self,
+        ordered: Sequence[Transaction],
+        arrival_rate_per_s: float,
+        coalescer_config: Optional[CoalescerConfig],
+    ) -> ServingReport:
+        """Replay through the asyncio front end under a real wall clock.
+
+        Arrivals are paced with event-loop sleeps at the configured rate and
+        every request is submitted concurrently (its future resolves when a
+        full or deadline flush serves it); the end-of-stream drain then
+        awaits them all, so the report covers every submitted request —
+        nothing is dropped.
+        """
+        import asyncio
+
+        from repro.serving.async_server import AsyncServingFrontEnd
+
+        interval_s = 1.0 / arrival_rate_per_s
+
+        async def _run() -> None:
+            front_end = AsyncServingFrontEnd(self, coalescer=coalescer_config)
+            futures = []
+            for index, transaction in enumerate(ordered):
+                if index:
+                    await asyncio.sleep(interval_s)
+                request = TransactionRequest.from_transaction(transaction)
+                futures.append(
+                    front_end.submit_nowait(request, was_fraud=transaction.is_fraud)
+                )
+            await front_end.drain()
+            await asyncio.gather(*futures)
+            self.last_coalescer_stats = front_end.stats()
+
+        asyncio.run(_run())
         return self.report()
 
     def _process_transaction_batch(self, transactions: Sequence[Transaction]) -> None:

@@ -1,0 +1,170 @@
+"""Asyncio serving front end: real concurrent requests, wall-clock deadlines.
+
+Everything in :mod:`repro.serving.coalescer` is clock-agnostic — callers pass
+``now_ms`` explicitly — so the deterministic tests replay against a simulated
+arrival clock.  This module is the other half of that design: an event-loop
+front end where the same :class:`~repro.serving.coalescer.RequestCoalescer`
+is driven by *real* concurrent ``await``-ers and a wall-clock flush timer.
+
+The flow per request:
+
+1. a caller awaits :meth:`AsyncServingFrontEnd.submit` (or holds the future
+   from :meth:`submit_nowait`); the request is buffered in the coalescer
+   stamped with the loop's wall clock,
+2. the front end keeps exactly one timer armed at the coalescer's
+   ``next_deadline_ms()`` — the instant the oldest buffered request has
+   waited ``max_delay_ms``,
+3. whichever comes first — the buffer filling to ``max_batch`` or the timer
+   firing — flushes one micro-batch through the Alipay server's vectorised
+   fleet path, and every flushed request's future resolves with its
+   :class:`~repro.serving.alipay.ServedTransaction`.
+
+Flushes preserve submission order and so do the waiting futures, which is
+what makes the FIFO waiter queue below correct.  Requests shed by the
+admission controller resolve immediately with the rule-based fallback's
+answer — under overload the front end degrades, it never drops.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+from repro.exceptions import ServingError
+from repro.serving.admission import AdmissionDecision
+from repro.serving.coalescer import CoalescerConfig, RequestCoalescer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.alipay import AlipayServer, ServedTransaction
+    from repro.serving.model_server import TransactionRequest
+
+
+class AsyncServingFrontEnd:
+    """Event-loop adapter coalescing concurrent requests under a wall clock.
+
+    Wraps one :class:`~repro.serving.alipay.AlipayServer` (whose configured
+    admission controller and fleet policy apply unchanged) and one
+    :class:`~repro.serving.coalescer.RequestCoalescer`.  Must be used from a
+    running event loop; one instance serves one loop.
+    """
+
+    def __init__(
+        self,
+        alipay: "AlipayServer",
+        *,
+        coalescer: Optional[CoalescerConfig] = None,
+    ):
+        self.alipay = alipay
+        self.coalescer = RequestCoalescer(alipay, coalescer)
+        self._waiters: Deque[asyncio.Future] = deque()
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._epoch: float = 0.0
+
+    # ------------------------------------------------------------------
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+            self._epoch = loop.time()
+        elif loop is not self._loop:
+            raise ServingError("AsyncServingFrontEnd is bound to another event loop")
+        return loop
+
+    def now_ms(self) -> float:
+        """Milliseconds of wall clock since this front end first served."""
+        loop = self._ensure_loop()
+        return (loop.time() - self._epoch) * 1000.0
+
+    # ------------------------------------------------------------------
+    def submit_nowait(
+        self,
+        request: "TransactionRequest",
+        *,
+        was_fraud: Optional[bool] = None,
+    ) -> "asyncio.Future[ServedTransaction]":
+        """Enqueue one request; the returned future resolves when it is served.
+
+        Synchronous (no awaits before the request is buffered), so a burst of
+        ``submit_nowait`` calls lands in the coalescer in call order even if
+        the event loop never gets control in between.
+        """
+        loop = self._ensure_loop()
+        now_ms = self.now_ms()
+        future: asyncio.Future = loop.create_future()
+        if self.alipay.admission is not None:
+            decision = self.alipay.admission.on_arrival(now_ms)
+            if decision is AdmissionDecision.DEGRADE:
+                future.set_result(
+                    self.alipay.process_degraded(request, was_fraud=was_fraud)
+                )
+                return future
+        self._waiters.append(future)
+        self._resolve(self.coalescer.submit(request, now_ms=now_ms, was_fraud=was_fraud))
+        self._arm_timer()
+        return future
+
+    async def submit(
+        self,
+        request: "TransactionRequest",
+        *,
+        was_fraud: Optional[bool] = None,
+    ) -> "ServedTransaction":
+        """Serve one request: buffered, coalesced, awaited until flushed."""
+        return await self.submit_nowait(request, was_fraud=was_fraud)
+
+    def _resolve(self, served: List["ServedTransaction"]) -> None:
+        """Resolve the oldest waiters with one flush's results (both FIFO)."""
+        for transaction in served:
+            self._waiters.popleft().set_result(transaction)
+
+    # ------------------------------------------------------------------
+    def _arm_timer(self) -> None:
+        """Keep exactly one timer armed at the coalescer's next deadline."""
+        assert self._loop is not None
+        deadline_ms = self.coalescer.next_deadline_ms()
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if deadline_ms is None:
+            return
+        self._timer = self._loop.call_at(
+            self._epoch + deadline_ms / 1000.0, self._on_deadline
+        )
+
+    def _on_deadline(self) -> None:
+        self._timer = None
+        deadline_ms = self.coalescer.next_deadline_ms()
+        if deadline_ms is None:
+            return
+        # Timers can fire marginally before the target instant; clamping to
+        # the deadline guarantees the flush happens now and the recorded wait
+        # is exactly the max_delay_ms budget, never more.
+        served = self.coalescer.advance(max(self.now_ms(), deadline_ms))
+        self._resolve(served)
+        self._arm_timer()
+
+    # ------------------------------------------------------------------
+    async def drain(self) -> List["ServedTransaction"]:
+        """Force-flush the buffer (end of stream) and disarm the timer.
+
+        Returns the flushed transactions; any outstanding futures from
+        :meth:`submit_nowait` resolve as a side effect.
+        """
+        self._ensure_loop()
+        served = self.coalescer.flush()
+        self._resolve(served)
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        return served
+
+    def stats(self) -> Dict[str, float]:
+        """The underlying coalescer's batching statistics."""
+        return self.coalescer.stats()
+
+    @property
+    def pending(self) -> int:
+        """Requests currently buffered awaiting a flush."""
+        return len(self.coalescer)

@@ -91,6 +91,18 @@ class RequestCoalescer:
             served.extend(self._flush(now_ms))
         return served
 
+    def next_deadline_ms(self) -> Optional[float]:
+        """When the buffer must flush: oldest arrival + ``max_delay_ms``.
+
+        ``None`` with an empty buffer.  This is the instant a wall-clock
+        event loop arms its flush timer for (see
+        :class:`~repro.serving.async_server.AsyncServingFrontEnd`); the
+        simulated clock checks it implicitly on every :meth:`advance`.
+        """
+        if not self._pending:
+            return None
+        return self._pending[0][2] + self.config.max_delay_ms
+
     def advance(self, now_ms: float) -> List["ServedTransaction"]:
         """Flush the buffer if its oldest request's deadline has passed.
 
