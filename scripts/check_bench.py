@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Validate the repo-root ``BENCH_*.json`` artifacts and gate regressions.
+
+Every benchmark in ``benchmarks/`` that persists a machine-readable artifact
+writes it to the repo root with a shared envelope::
+
+    {
+      "benchmark": "<name>",            # matches the BENCH_<name>.json file
+      "mode": "smoke" | "full",
+      "platform": "<platform.platform()>",
+      "cpu_count": <int>,
+      "perf_asserts_active": <bool>,    # were perf floors actually enforced?
+      ...benchmark-specific sections...
+    }
+
+Two jobs, both exercised by CI:
+
+* **Schema validation** (default): every ``BENCH_*.json`` in the repo root
+  must carry the envelope, its ``benchmark`` field must match its filename,
+  and its benchmark-specific throughput metric must be present and positive.
+  Run as ``python scripts/check_bench.py``.
+
+* **Regression gate** (``--candidate``/``--baseline``): compares a freshly
+  produced artifact against a committed one and fails when the candidate's
+  headline throughput drops more than ``--tolerance`` (default 30 %, since
+  CI runners vary).  The gate only *enforces* when both artifacts ran with
+  ``perf_asserts_active`` (an honest single-core run cannot regress a
+  multi-core baseline); otherwise the comparison is reported but advisory.
+
+Exits non-zero listing every violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Envelope fields every artifact must carry, with their required types.
+COMMON_REQUIRED = {
+    "benchmark": str,
+    "mode": str,
+    "platform": str,
+    "cpu_count": int,
+    "perf_asserts_active": bool,
+}
+
+MODES = ("smoke", "full")
+
+#: Default relative throughput drop tolerated by the regression gate.
+DEFAULT_TOLERANCE = 0.30
+
+
+def _parallel_ps_throughput(results: Dict) -> float:
+    """Headline metric: best process-backend row throughput on the microbench."""
+    entries = results["workloads"]["ps_round"]["entries"]
+    return max(float(entry["process_rows_per_second"]) for entry in entries)
+
+
+def _sustained_load_throughput(results: Dict) -> float:
+    """Headline metric: sustained serving requests per second."""
+    return float(results["serving"]["sustained_rps"])
+
+
+#: benchmark name -> (headline throughput extractor, metric label).
+THROUGHPUT_METRICS: Dict[str, tuple] = {
+    "parallel_ps": (_parallel_ps_throughput, "ps_round process rows/s"),
+    "sustained_load": (_sustained_load_throughput, "serving sustained rps"),
+}
+
+
+def load_artifact(path: Path) -> Dict:
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path.name}: not valid JSON ({exc})") from exc
+
+
+def validate_artifact(path: Path, results: Dict, *, check_filename: bool = True) -> List[str]:
+    """All schema violations of one artifact (empty list means valid).
+
+    ``check_filename=False`` skips the filename <-> ``benchmark`` coupling:
+    regression candidates are often freshly written to temporary paths.
+    """
+    errors: List[str] = []
+    for field, expected_type in COMMON_REQUIRED.items():
+        if field not in results:
+            errors.append(f"{path.name}: missing required field {field!r}")
+        elif not isinstance(results[field], expected_type):
+            errors.append(
+                f"{path.name}: field {field!r} must be {expected_type.__name__}, "
+                f"got {type(results[field]).__name__}"
+            )
+    if errors:
+        return errors
+    expected_name = f"BENCH_{results['benchmark']}.json"
+    if check_filename and path.name != expected_name:
+        errors.append(
+            f"{path.name}: benchmark field {results['benchmark']!r} implies "
+            f"filename {expected_name}"
+        )
+    if results["mode"] not in MODES:
+        errors.append(f"{path.name}: mode must be one of {MODES}, got {results['mode']!r}")
+    if results["cpu_count"] < 1:
+        errors.append(f"{path.name}: cpu_count must be positive")
+    metric = THROUGHPUT_METRICS.get(results["benchmark"])
+    if metric is None:
+        errors.append(
+            f"{path.name}: unknown benchmark {results['benchmark']!r} — register its "
+            "headline metric in scripts/check_bench.py THROUGHPUT_METRICS"
+        )
+        return errors
+    extractor, label = metric
+    try:
+        throughput = extractor(results)
+    except (KeyError, TypeError, ValueError) as exc:
+        errors.append(f"{path.name}: cannot extract {label} ({exc!r})")
+        return errors
+    if not throughput > 0:
+        errors.append(f"{path.name}: {label} must be positive, got {throughput}")
+    return errors
+
+
+def validate_all(root: Path) -> int:
+    artifacts = sorted(root.glob("BENCH_*.json"))
+    if not artifacts:
+        print(f"no BENCH_*.json artifacts under {root}", file=sys.stderr)
+        return 1
+    errors: List[str] = []
+    for path in artifacts:
+        try:
+            results = load_artifact(path)
+        except ValueError as exc:
+            errors.append(str(exc))
+            continue
+        violations = validate_artifact(path, results)
+        errors.extend(violations)
+        if not violations:
+            extractor, label = THROUGHPUT_METRICS[results["benchmark"]]
+            print(
+                f"ok {path.name}: mode={results['mode']} "
+                f"{label}={extractor(results):,.0f}"
+            )
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    return 1 if errors else 0
+
+
+def check_regression(candidate: Path, baseline: Path, tolerance: float) -> int:
+    """Fail when the candidate's headline throughput regresses past tolerance."""
+    errors: List[str] = []
+    results = {}
+    for role, path in (("candidate", candidate), ("baseline", baseline)):
+        try:
+            data = load_artifact(path)
+        except ValueError as exc:
+            print(f"error: {role} {exc}", file=sys.stderr)
+            return 1
+        violations = validate_artifact(path, data, check_filename=False)
+        if violations:
+            for violation in violations:
+                print(f"error: {role} {violation}", file=sys.stderr)
+            return 1
+        results[role] = data
+    if results["candidate"]["benchmark"] != results["baseline"]["benchmark"]:
+        print(
+            "error: cannot compare different benchmarks "
+            f"({results['candidate']['benchmark']!r} vs "
+            f"{results['baseline']['benchmark']!r})",
+            file=sys.stderr,
+        )
+        return 1
+    extractor, label = THROUGHPUT_METRICS[results["candidate"]["benchmark"]]
+    new = extractor(results["candidate"])
+    old = extractor(results["baseline"])
+    change = (new - old) / old
+    enforced = (
+        results["candidate"]["perf_asserts_active"]
+        and results["baseline"]["perf_asserts_active"]
+    )
+    status = "enforced" if enforced else "advisory (perf asserts inactive)"
+    print(
+        f"{label}: baseline {old:,.0f} -> candidate {new:,.0f} "
+        f"({change:+.1%}, tolerance -{tolerance:.0%}, {status})"
+    )
+    if enforced and change < -tolerance:
+        print(
+            f"error: throughput regression {change:+.1%} exceeds the "
+            f"-{tolerance:.0%} tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--root", type=Path, default=REPO_ROOT, help="directory holding BENCH_*.json"
+    )
+    parser.add_argument(
+        "--candidate", type=Path, default=None, help="fresh artifact for the regression gate"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=None, help="committed artifact to compare against"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="max tolerated relative throughput drop (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+    if (args.candidate is None) != (args.baseline is None):
+        parser.error("--candidate and --baseline must be given together")
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+    if args.candidate is not None:
+        return check_regression(args.candidate, args.baseline, args.tolerance)
+    return validate_all(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

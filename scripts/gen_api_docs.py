@@ -32,6 +32,28 @@ OUTPUT_PATH = REPO_ROOT / "docs" / "API.md"
 #: The curated public surface: (section title, module, names, blurb).
 PUBLIC_API = [
     (
+        "Streaming data layer",
+        "repro.datagen.stream",
+        ["TransactionStream", "WorldStream", "ScalableWorldStream", "StreamCheckpoint"],
+        "Seeded, resumable, event-time-ordered transaction streams: the "
+        "legacy world as a lazy iterator (bit-identical to materialization) "
+        "and the columnar million-account generator with bounded state.",
+    ),
+    (
+        "Arrival process",
+        "repro.datagen.transactions",
+        ["ArrivalConfig", "BurstSpec"],
+        "Non-homogeneous arrivals for the scalable stream: the diurnal load "
+        "curve plus transient bursts, budget-validated per day.",
+    ),
+    (
+        "Progress tracking",
+        "repro.logging_utils",
+        ["ProgressTracker"],
+        "Throttled rate/ETA logging for long generation and load runs; "
+        "quiet unless logging is configured.",
+    ),
+    (
         "Offline pipeline and experiments",
         "repro.core.pipeline",
         ["OfflineTrainingPipeline", "TrainedModelBundle", "build_detector"],

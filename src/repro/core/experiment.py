@@ -79,9 +79,28 @@ class ConfigurationResult:
 
 
 class ExperimentRunner:
-    """Runs the rolling evaluation on a generated transaction world."""
+    """Runs the rolling evaluation on a generated transaction world.
 
-    def __init__(self, world: TransactionWorld, config: Optional[ExperimentConfig] = None):
+    Accepts either a materialized
+    :class:`~repro.datagen.transactions.TransactionWorld` or a
+    :class:`~repro.datagen.stream.WorldStream` (positioned at its start).
+    With a stream, dataset slices are assembled in a single streaming pass
+    (:meth:`RollingDatasets.from_stream`) and cached, so the full
+    transaction list is never materialized outside the slice windows the
+    evaluation actually needs.
+    """
+
+    def __init__(self, world, config: Optional[ExperimentConfig] = None):
+        from repro.datagen.stream import ScalableWorldStream, WorldStream
+
+        if isinstance(world, ScalableWorldStream):
+            raise ConfigurationError(
+                "ExperimentRunner needs per-user profiles for the offline "
+                "pipeline; columnar ScalableWorldStream populations are for "
+                "the serving/load path — use a WorldStream (or materialized "
+                "TransactionWorld) for experiments"
+            )
+        self._stream = world if isinstance(world, WorldStream) else None
         self.world = world
         self.config = config or ExperimentConfig.laptop_scale()
         self.config.validate()
@@ -92,10 +111,21 @@ class ExperimentRunner:
             aggregation=self.config.aggregation,
         )
         self._preparations: Dict[int, SlicePreparation] = {}
+        self._stream_datasets: Optional[RollingDatasets] = None
 
     # ------------------------------------------------------------------
     def datasets(self) -> RollingDatasets:
         """The configured rolling T+1 dataset slices of the world."""
+        if self._stream is not None:
+            if self._stream_datasets is None:
+                self._stream_datasets = RollingDatasets.from_stream(
+                    self._stream,
+                    num_datasets=self.config.num_datasets,
+                    network_days=self.config.network_days,
+                    train_days=self.config.train_days,
+                    first_test_day=self.config.first_test_day,
+                )
+            return self._stream_datasets
         return RollingDatasets.build(
             self.world,
             num_datasets=self.config.num_datasets,

@@ -14,9 +14,11 @@ evaluation depends on:
 * delayed labels collected from user fraud reports.
 
 The public entry points are :class:`WorldConfig` / :func:`generate_world` for a
-full simulated horizon and :class:`DatasetBuilder` for the paper's T+1 rolling
-slices (90 days of records for the transaction network, 14 days for training,
-1 day for testing).
+materialized small-world horizon, :class:`WorldStream` /
+:class:`ScalableWorldStream` for streamed (bounded-memory, resumable)
+generation up to millions of accounts, and :class:`DatasetBuilder` for the
+paper's T+1 rolling slices (90 days of records for the transaction network,
+14 days for training, 1 day for testing).
 """
 
 from repro.datagen.schema import (
@@ -25,10 +27,30 @@ from repro.datagen.schema import (
     TransactionChannel,
     Gender,
     CITY_FRAUD_TIERS,
+    transaction_sort_key,
 )
-from repro.datagen.profiles import ProfileConfig, ProfileGenerator
-from repro.datagen.fraud import FraudConfig, FraudsterBehaviorModel, FraudsterState
-from repro.datagen.transactions import WorldConfig, TransactionWorld, generate_world
+from repro.datagen.profiles import ColumnarAccounts, ProfileConfig, ProfileGenerator
+from repro.datagen.fraud import (
+    ColumnarFraudPlanner,
+    FraudConfig,
+    FraudsterBehaviorModel,
+    FraudsterState,
+    PlannedFraudBatch,
+)
+from repro.datagen.transactions import (
+    ArrivalConfig,
+    BurstSpec,
+    DIURNAL_HOURLY_WEIGHTS,
+    TransactionWorld,
+    WorldConfig,
+    generate_world,
+)
+from repro.datagen.stream import (
+    ScalableWorldStream,
+    StreamCheckpoint,
+    TransactionStream,
+    WorldStream,
+)
 from repro.datagen.datasets import DatasetBuilder, DatasetSlice, RollingDatasets
 
 __all__ = [
@@ -37,14 +59,25 @@ __all__ = [
     "TransactionChannel",
     "Gender",
     "CITY_FRAUD_TIERS",
+    "transaction_sort_key",
+    "ColumnarAccounts",
     "ProfileConfig",
     "ProfileGenerator",
+    "ColumnarFraudPlanner",
     "FraudConfig",
     "FraudsterBehaviorModel",
     "FraudsterState",
+    "PlannedFraudBatch",
+    "ArrivalConfig",
+    "BurstSpec",
+    "DIURNAL_HOURLY_WEIGHTS",
     "WorldConfig",
     "TransactionWorld",
     "generate_world",
+    "TransactionStream",
+    "WorldStream",
+    "ScalableWorldStream",
+    "StreamCheckpoint",
     "DatasetBuilder",
     "DatasetSlice",
     "RollingDatasets",

@@ -14,11 +14,14 @@ into :class:`DatasetSlice` objects implementing exactly that protocol, and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence
 
 from repro.datagen.schema import Transaction
 from repro.datagen.transactions import TransactionWorld
 from repro.exceptions import DataGenerationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datagen.stream import TransactionStream
 
 
 @dataclass(frozen=True)
@@ -193,6 +196,87 @@ class RollingDatasets:
             )
         slices = [builder.build(start + offset) for offset in range(num_datasets)]
         return cls(slices=slices)
+
+    @classmethod
+    def from_stream(
+        cls,
+        stream: "TransactionStream",
+        *,
+        num_datasets: int = 7,
+        network_days: int = 90,
+        train_days: int = 14,
+        first_test_day: Optional[int] = None,
+        respect_label_delay: bool = True,
+    ) -> "RollingDatasets":
+        """Assemble the rolling slices in one pass over a transaction stream.
+
+        The streaming twin of :meth:`build`: instead of requiring a fully
+        materialized :class:`TransactionWorld`, it consumes a
+        :class:`~repro.datagen.stream.TransactionStream` (day-ordered by
+        construction) and buckets only the day range the requested slices
+        need — memory is bounded by the slice windows themselves, never by
+        the stream's full horizon, and iteration stops as soon as the last
+        needed day has passed.  For the same world configuration and seed the
+        result is identical to ``build(generate_world(config), ...)``.
+        """
+        if network_days <= 0 or train_days <= 0:
+            raise DataGenerationError("network_days and train_days must be positive")
+        earliest = network_days + train_days
+        start = earliest if first_test_day is None else first_test_day
+        if start < earliest:
+            raise DataGenerationError(
+                f"test_day {start} requires {earliest} prior days of history "
+                f"but only {start} are available"
+            )
+        if start + num_datasets > stream.num_days:
+            raise DataGenerationError(
+                f"world horizon of {stream.num_days} days cannot host "
+                f"{num_datasets} test days starting at day {start}"
+            )
+        first_needed = start - train_days - network_days
+        last_needed = start + num_datasets - 1
+        by_day: Dict[int, List[Transaction]] = {}
+        for txn in stream:
+            if txn.day > last_needed:
+                break
+            if txn.day >= first_needed:
+                by_day.setdefault(txn.day, []).append(txn)
+
+        def window(start_day: int, end_day: int) -> List[Transaction]:
+            return [t for day in range(start_day, end_day) for t in by_day.get(day, [])]
+
+        slices: List[DatasetSlice] = []
+        for offset in range(num_datasets):
+            test_day = start + offset
+            spec = SliceSpec(
+                network_start=test_day - train_days - network_days,
+                network_end=test_day - train_days,
+                train_start=test_day - train_days,
+                train_end=test_day,
+                test_day=test_day,
+            )
+            spec.validate()
+            train = window(spec.train_start, spec.train_end)
+            if respect_label_delay:
+                as_of = spec.train_end - 1
+                train = [
+                    _hide_late_label(t) if t.is_fraud and t.label_available_day > as_of else t
+                    for t in train
+                ]
+            slices.append(
+                DatasetSlice(
+                    spec=spec,
+                    network_transactions=window(spec.network_start, spec.network_end),
+                    train_transactions=train,
+                    test_transactions=list(by_day.get(test_day, [])),
+                )
+            )
+        return cls(slices=slices)
+
+
+def _hide_late_label(txn: Transaction) -> Transaction:
+    """A copy of ``txn`` whose fraud label is not yet observable (delayed report)."""
+    return Transaction(**{**txn.to_row(), "channel": txn.channel, "is_fraud": False})
 
 
 def small_world_config(

@@ -19,14 +19,18 @@ This module models each fraudster as a small campaign process:
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 import numpy as np
 
 from repro.datagen.schema import UserProfile
 from repro.exceptions import DataGenerationError
 from repro.rng import SeedLike, ensure_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.datagen.profiles import ColumnarAccounts
 
 
 @dataclass
@@ -134,6 +138,25 @@ class FraudsterBehaviorModel:
         return sum(1 for s in committed if s.has_repeated) / len(committed)
 
     # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, object]:
+        """Snapshot the mutable campaign state for stream checkpointing.
+
+        The snapshot contains the per-fraudster states and the RNG position;
+        static structure (population, community index) is reconstructed from
+        configuration when the stream is rebuilt, keeping checkpoints
+        O(fraudsters) rather than O(transactions).
+        """
+        return {
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+            "states": copy.deepcopy(self._states),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot previously produced by :meth:`capture_state`."""
+        self._rng.bit_generator.state = copy.deepcopy(state["rng_state"])
+        self._states = copy.deepcopy(state["states"])  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------------
     def plan_day(self, day: int) -> List[PlannedFraud]:
         """Return the fraudulent transfers scheduled for ``day``."""
         planned: List[PlannedFraud] = []
@@ -201,3 +224,153 @@ class FraudsterBehaviorModel:
 
     def _sample_report_delay(self) -> int:
         return int(np.clip(self._rng.exponential(self.config.mean_report_delay_days), 0, 30)) + 1
+
+
+@dataclass
+class PlannedFraudBatch:
+    """One day of planned frauds in columnar form (parallel numpy arrays)."""
+
+    #: Account index of the fraudster receiving each transfer.
+    fraudster_index: np.ndarray
+    #: Account index of the victim initiating each transfer.
+    victim_index: np.ndarray
+    amount: np.ndarray
+    hour: np.ndarray
+    report_delay_days: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.fraudster_index.size)
+
+
+class ColumnarFraudPlanner:
+    """Vectorized fraud-campaign planner over a :class:`ColumnarAccounts` population.
+
+    Million-account streams cannot afford per-fraudster Python loops or
+    per-victim ``UserProfile`` lookups, so this planner mirrors
+    :class:`FraudsterBehaviorModel`'s campaign logic (repeat offenders with
+    active days, one-shot strikes, community-sticky victim selection, shifted
+    amount/hour/report-delay distributions) as whole-population numpy
+    operations.  Community stickiness targets the fraudster's home community
+    (the legacy model grows a preferred-community set per fraudster; at scale
+    the home community dominates that set, so the simplification preserves the
+    2-hop "gathering" topology without O(victims) per-fraudster state).
+    """
+
+    def __init__(
+        self,
+        accounts: "ColumnarAccounts",
+        config: FraudConfig | None = None,
+        *,
+        rng: SeedLike = None,
+    ):
+        self.config = config or FraudConfig()
+        self.config.validate()
+        self._rng = ensure_rng(rng)
+        self._accounts = accounts
+        self._fraudster_index = np.flatnonzero(accounts.is_fraudster)
+        self._normal_index = np.flatnonzero(~accounts.is_fraudster)
+        if self._normal_index.size == 0:
+            raise DataGenerationError("population contains no normal users")
+        # CSR of normal users grouped by community: victim pools without dicts.
+        communities = accounts.community[self._normal_index]
+        order = np.argsort(communities, kind="stable")
+        self._normal_by_community = self._normal_index[order]
+        num_communities = int(accounts.community.max()) + 1
+        counts = np.bincount(communities, minlength=num_communities)
+        self._community_offsets = np.zeros(num_communities + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._community_offsets[1:])
+        self._is_repeat = (
+            self._rng.random(self._fraudster_index.size)
+            < self.config.repeat_offender_fraction
+        )
+        self._one_shot_done = np.zeros(self._fraudster_index.size, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, object]:
+        """Snapshot mutable planner state (RNG position + one-shot flags)."""
+        return {
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+            "one_shot_done": self._one_shot_done.copy(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot previously produced by :meth:`capture_state`."""
+        self._rng.bit_generator.state = copy.deepcopy(state["rng_state"])
+        self._one_shot_done = np.array(state["one_shot_done"], dtype=bool, copy=True)
+
+    # ------------------------------------------------------------------
+    def plan_day(self, day: int) -> PlannedFraudBatch:
+        """Plan one day of fraudulent transfers as a columnar batch."""
+        cfg = self.config
+        num_fraudsters = self._fraudster_index.size
+        if num_fraudsters == 0:
+            empty_int = np.zeros(0, dtype=np.int64)
+            return PlannedFraudBatch(empty_int, empty_int, np.zeros(0), empty_int, empty_int)
+        active = self._is_repeat & (
+            self._rng.random(num_fraudsters) < cfg.active_day_probability
+        )
+        counts = np.where(
+            active,
+            np.maximum(1, self._rng.poisson(cfg.frauds_per_active_day, size=num_fraudsters)),
+            0,
+        ).astype(np.int64)
+        strikes = (
+            (~self._is_repeat)
+            & (~self._one_shot_done)
+            & (self._rng.random(num_fraudsters) < 0.02)
+        )
+        counts += strikes
+        self._one_shot_done |= strikes
+        slots = np.repeat(np.arange(num_fraudsters), counts)
+        num_events = slots.size
+        if num_events == 0:
+            empty_int = np.zeros(0, dtype=np.int64)
+            return PlannedFraudBatch(empty_int, empty_int, np.zeros(0), empty_int, empty_int)
+
+        fraudsters = self._fraudster_index[slots]
+        # Victim selection: community-sticky when the fraudster's community has
+        # normal members, otherwise (or with prob 1 - stickiness) global.
+        communities = self._accounts.community[fraudsters]
+        pool_sizes = (
+            self._community_offsets[communities + 1] - self._community_offsets[communities]
+        )
+        sticky = (self._rng.random(num_events) < cfg.community_stickiness) & (pool_sizes > 0)
+        local = self._community_offsets[communities] + np.floor(
+            self._rng.random(num_events) * np.maximum(pool_sizes, 1)
+        ).astype(np.int64)
+        local = np.minimum(local, self._normal_by_community.size - 1)
+        global_pick = self._normal_index[
+            self._rng.integers(0, self._normal_index.size, size=num_events)
+        ]
+        victims = np.where(sticky, self._normal_by_community[local], global_pick)
+
+        amounts = np.clip(
+            self._rng.lognormal(cfg.fraud_amount_log_mean, cfg.fraud_amount_log_sigma, num_events),
+            10.0,
+            200_000.0,
+        )
+        # Vectorized analogue of FraudsterBehaviorModel._sample_hour.
+        night = self._rng.random(num_events) < 0.55
+        late = self._rng.random(num_events) < 0.5
+        hours = np.where(
+            night,
+            np.where(
+                late,
+                self._rng.integers(22, 24, size=num_events),
+                self._rng.integers(0, 6, size=num_events),
+            ),
+            self._rng.integers(0, 24, size=num_events),
+        ).astype(np.int64)
+        delays = (
+            np.clip(self._rng.exponential(cfg.mean_report_delay_days, num_events), 0, 30).astype(
+                np.int64
+            )
+            + 1
+        )
+        return PlannedFraudBatch(
+            fraudster_index=fraudsters,
+            victim_index=victims,
+            amount=amounts,
+            hour=hours,
+            report_delay_days=delays,
+        )

@@ -11,13 +11,16 @@ attribute, never a feature — detection models must recover it from behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, Iterator, List
 
 import numpy as np
 
 from repro.datagen.schema import Gender, UserProfile, NUM_CITIES, city_name
 from repro.exceptions import DataGenerationError
 from repro.rng import SeedLike, ensure_rng
+
+#: Gender codes used by the columnar population (index into this tuple).
+_GENDER_CODES = (Gender.FEMALE, Gender.MALE, Gender.UNKNOWN)
 
 
 @dataclass
@@ -170,6 +173,133 @@ class ProfileGenerator:
     def _sample_device_count(self, is_fraudster: bool) -> int:
         lam = 3.2 if is_fraudster else 1.4
         return int(np.clip(self._rng.poisson(lam) + 1, 1, 12))
+
+
+class ColumnarAccounts:
+    """Columnar account population for million-account streams.
+
+    Stores the whole population as parallel numpy arrays — a 1M-account world
+    costs tens of megabytes instead of the ~gigabyte that a list of
+    :class:`UserProfile` dataclasses would need — and materializes individual
+    profiles only on demand.  Sampling follows the same qualitative shape as
+    :class:`ProfileGenerator` (fraudsters skew young / low-KYC / many-device
+    and concentrate in every fourth community) but is drawn with vectorized
+    equivalents, so a columnar population is *not* bit-identical to the list
+    population at the same seed; it is deterministic in its own right.
+    """
+
+    def __init__(self, config: ProfileConfig | None = None, *, rng: SeedLike = None):
+        self.config = config or ProfileConfig()
+        self.config.validate()
+        rng = ensure_rng(self.config.seed if rng is None else rng)
+        cfg = self.config
+        n = cfg.num_users
+
+        self.community = rng.integers(0, cfg.num_communities, size=n).astype(np.int32)
+        risk_weights = np.where(
+            self.community % 4 == 0,
+            ProfileGenerator.community_risk_weight(0),
+            ProfileGenerator.community_risk_weight(1),
+        )
+        num_fraudsters = min(int(round(n * cfg.fraudster_fraction)), n)
+        self.is_fraudster = np.zeros(n, dtype=bool)
+        if num_fraudsters > 0:
+            # Gumbel top-k == weighted sampling without replacement, vectorized.
+            keys = np.log(risk_weights) + rng.gumbel(size=n)
+            winners = np.argpartition(-keys, num_fraudsters - 1)[:num_fraudsters]
+            self.is_fraudster[winners] = True
+
+        fraud = self.is_fraudster
+        self.age = np.clip(
+            np.round(rng.normal(np.where(fraud, 29.0, 36.0), 11.0)),
+            cfg.min_age,
+            cfg.max_age,
+        ).astype(np.int16)
+        roll = rng.random(n)
+        self.gender_code = np.where(roll < 0.49, 0, np.where(roll < 0.97, 1, 2)).astype(np.int8)
+        self.home_city = rng.integers(0, NUM_CITIES, size=n).astype(np.int16)
+        self.account_age_days = np.clip(
+            rng.exponential(1.0, size=n) * np.where(fraud, 140.0, 700.0), 1, 4000
+        ).astype(np.int32)
+        kyc_roll = rng.random(n)
+        low = np.where(fraud, 0.35, 0.10)
+        mid = np.where(fraud, 0.75, 0.45)
+        self.kyc_level = np.where(kyc_roll < low, 1, np.where(kyc_roll < mid, 2, 3)).astype(
+            np.int8
+        )
+        self.is_merchant = (~fraud) & (rng.random(n) < cfg.merchant_fraction)
+        self.device_count = np.clip(
+            rng.poisson(np.where(fraud, 3.2, 1.4)) + 1, 1, 12
+        ).astype(np.int8)
+        self.risk_propensity = np.clip(
+            rng.normal(np.where(fraud, 0.65, 0.25), 0.15), 0, 1
+        ).astype(np.float32)
+        self.activity_level = (
+            rng.gamma(2.0, 1.0, size=n) * np.where(self.is_merchant, 1.2, 0.6) + 0.2
+        ).astype(np.float64)
+        self.merchant_index = np.flatnonzero(self.is_merchant)
+
+        # CSR of accounts grouped by community, for O(1) intra-community picks.
+        order = np.argsort(self.community, kind="stable")
+        self.community_members = order.astype(np.int64)
+        counts = np.bincount(self.community, minlength=cfg.num_communities)
+        self.community_offsets = np.zeros(cfg.num_communities + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.community_offsets[1:])
+
+    # ------------------------------------------------------------------
+    @property
+    def num_accounts(self) -> int:
+        """Population size."""
+        return int(self.community.size)
+
+    @staticmethod
+    def user_id(index: int) -> str:
+        """Canonical account id for array position ``index``."""
+        return f"u{index:07d}"
+
+    def profile(self, index: int) -> UserProfile:
+        """Materialize one :class:`UserProfile` from the columnar store."""
+        return UserProfile(
+            user_id=self.user_id(index),
+            age=int(self.age[index]),
+            gender=_GENDER_CODES[int(self.gender_code[index])],
+            home_city=city_name(int(self.home_city[index])),
+            account_age_days=int(self.account_age_days[index]),
+            kyc_level=int(self.kyc_level[index]),
+            is_merchant=bool(self.is_merchant[index]),
+            device_count=int(self.device_count[index]),
+            community=int(self.community[index]),
+            is_fraudster=bool(self.is_fraudster[index]),
+            risk_propensity=float(self.risk_propensity[index]),
+            activity_level=float(self.activity_level[index]),
+        )
+
+    def iter_profiles(self, indices: "np.ndarray | None" = None) -> Iterator[UserProfile]:
+        """Yield materialized profiles for ``indices`` (default: everyone)."""
+        if indices is None:
+            indices = range(self.num_accounts)  # type: ignore[assignment]
+        for index in indices:
+            yield self.profile(int(index))
+
+    def nbytes(self) -> int:
+        """Total bytes held by the columnar arrays (honest memory accounting)."""
+        arrays = (
+            self.community,
+            self.is_fraudster,
+            self.age,
+            self.gender_code,
+            self.home_city,
+            self.account_age_days,
+            self.kyc_level,
+            self.is_merchant,
+            self.device_count,
+            self.risk_propensity,
+            self.activity_level,
+            self.merchant_index,
+            self.community_members,
+            self.community_offsets,
+        )
+        return int(sum(a.nbytes for a in arrays))
 
 
 def profiles_by_id(profiles: List[UserProfile]) -> Dict[str, UserProfile]:

@@ -215,6 +215,22 @@ class WorldSummary:
         )
 
 
+#: Seconds per simulated hour/day — the schema is hour-granular, so these are
+#: the only time constants the data layer needs.
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 24 * SECONDS_PER_HOUR
+
+
+def transaction_sort_key(txn: Transaction) -> tuple:
+    """Canonical event-time total order for the data layer.
+
+    Mirrors ``repro.features.streaming.event_order`` — (event-time seconds,
+    transaction id) — but lives in ``datagen`` so stream generators can order
+    their output without importing the feature layer.
+    """
+    return (txn.day * SECONDS_PER_DAY + txn.hour * SECONDS_PER_HOUR, txn.transaction_id)
+
+
 def validate_transaction(txn: Transaction) -> Optional[str]:
     """Return an error string if ``txn`` violates schema invariants, else None."""
     if txn.amount <= 0:

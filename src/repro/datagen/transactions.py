@@ -16,13 +16,14 @@ layer and the T+1 dataset slicer.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.datagen.fraud import FraudConfig, FraudsterBehaviorModel, PlannedFraud
-from repro.datagen.profiles import ProfileConfig, ProfileGenerator, profiles_by_id
+from repro.datagen.fraud import FraudConfig, PlannedFraud
+from repro.datagen.profiles import ProfileConfig, profiles_by_id
 from repro.datagen.schema import (
     NUM_CITIES,
     Transaction,
@@ -35,6 +36,108 @@ from repro.datagen.schema import (
 )
 from repro.exceptions import DataGenerationError
 from repro.rng import SeedLike, ensure_rng, spawn_child
+
+
+#: Default diurnal intensity by hour of day (relative weights, later
+#: normalized to mean 1).  Shape: a deep overnight trough, a morning ramp, a
+#: lunchtime plateau and an evening peak — the canonical consumer-payments
+#: load curve the sustained-load harness replays.
+DIURNAL_HOURLY_WEIGHTS: Tuple[float, ...] = (
+    0.20, 0.14, 0.10, 0.08, 0.10, 0.22,
+    0.55, 0.95, 1.25, 1.40, 1.50, 1.65,
+    1.75, 1.55, 1.40, 1.35, 1.40, 1.55,
+    1.85, 2.05, 1.95, 1.55, 0.95, 0.50,
+)
+
+
+@dataclass
+class BurstSpec:
+    """A transient load burst: extra arrival intensity over a few hours.
+
+    The burst multiplies the diurnal intensity by ``amplitude`` for
+    ``duration_hours`` hours starting at ``start_hour`` on ``day`` — modelling
+    promotions / flash sales whose traffic spikes the paper's serving fleet
+    must absorb or shed.
+    """
+
+    day: int
+    start_hour: int
+    duration_hours: int = 2
+    amplitude: float = 3.0
+
+    def validate(self, *, num_days: int) -> None:
+        """Validate structural bounds against a ``num_days`` horizon."""
+        if not 0 <= self.day < num_days:
+            raise DataGenerationError(
+                f"burst day {self.day} outside the simulated horizon [0, {num_days})"
+            )
+        if not 0 <= self.start_hour < 24:
+            raise DataGenerationError(f"burst start_hour must be in [0, 24), got {self.start_hour}")
+        if self.duration_hours <= 0:
+            raise DataGenerationError("burst duration_hours must be positive")
+        if self.start_hour + self.duration_hours > 24:
+            raise DataGenerationError("burst must end within its day (start_hour + duration <= 24)")
+        if self.amplitude < 1.0:
+            raise DataGenerationError("burst amplitude must be >= 1 (bursts add load)")
+
+
+@dataclass
+class ArrivalConfig:
+    """Non-homogeneous arrival process: diurnal load curve + bursts.
+
+    ``hourly_weights`` are 24 relative intensities normalized to mean 1, so
+    the configured ``transactions_per_user_per_day`` stays the daily budget
+    regardless of curve shape; bursts multiply specific hours on specific
+    days.
+    """
+
+    hourly_weights: Sequence[float] = DIURNAL_HOURLY_WEIGHTS
+    bursts: List[BurstSpec] = field(default_factory=list)
+
+    def validate(self, *, num_days: int) -> None:
+        """Validate the curve and every burst against the day's budget.
+
+        A burst's *surplus* — the extra expected events it injects, as a
+        fraction of the day's total budget — is ``(amplitude - 1) x (share of
+        the diurnal curve inside the burst window)``.  Summed per day it must
+        stay <= 1.0 (a day may at most double); anything larger would blow the
+        transaction budget the rest of the pipeline (admission control, label
+        delays) is calibrated against.
+        """
+        weights = np.asarray(self.hourly_weights, dtype=np.float64)
+        if weights.shape != (24,):
+            raise DataGenerationError("hourly_weights must contain exactly 24 values")
+        if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+            raise DataGenerationError("hourly_weights must be finite and non-negative")
+        if weights.sum() <= 0:
+            raise DataGenerationError("hourly_weights must not be all zero")
+        normalized = weights / weights.mean()
+        surplus_by_day: Dict[int, float] = {}
+        for burst in self.bursts:
+            burst.validate(num_days=num_days)
+            window = normalized[burst.start_hour : burst.start_hour + burst.duration_hours]
+            share = float(window.sum()) / 24.0
+            surplus_by_day[burst.day] = surplus_by_day.get(burst.day, 0.0) + (
+                burst.amplitude - 1.0
+            ) * share
+        for day, surplus in surplus_by_day.items():
+            if surplus > 1.0:
+                raise DataGenerationError(
+                    f"burst parameters on day {day} exceed the day's transaction "
+                    f"budget: surplus load {surplus:.2f}x > 1.0x of the daily budget"
+                )
+
+    def hour_multipliers(self, day: int) -> np.ndarray:
+        """Intensity multiplier for each hour of ``day`` (diurnal x bursts)."""
+        weights = np.asarray(self.hourly_weights, dtype=np.float64)
+        multipliers = weights / weights.mean()
+        for burst in self.bursts:
+            if burst.day == day:
+                multipliers = multipliers.copy()
+                multipliers[burst.start_hour : burst.start_hour + burst.duration_hours] *= (
+                    burst.amplitude
+                )
+        return multipliers
 
 
 @dataclass
@@ -61,6 +164,9 @@ class WorldConfig:
     #: Additional background fraud rate applied to normal-looking transfers
     #: (mislabelled / noisy fraud not driven by campaign fraudsters).
     background_fraud_rate: float = 0.0005
+    #: Optional non-homogeneous arrival process (diurnal curve + bursts) used
+    #: by the scalable stream; ``None`` keeps the legacy uniform-day model.
+    arrival: Optional[ArrivalConfig] = None
     seed: Optional[int] = 7
 
     def validate(self) -> None:
@@ -78,6 +184,39 @@ class WorldConfig:
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise DataGenerationError(f"{name} must be in [0, 1]")
+        # Population structure: catch configurations that would previously
+        # fail deep inside generation with an opaque error.
+        num_users = self.profile.num_users
+        if num_users < 2:
+            raise DataGenerationError(
+                "population must contain at least two users (num_users >= 2)"
+            )
+        num_fraudsters = min(int(round(num_users * self.profile.fraudster_fraction)), num_users)
+        if num_fraudsters >= num_users:
+            raise DataGenerationError(
+                f"fraudster_fraction {self.profile.fraudster_fraction} leaves no "
+                f"normal users in a population of {num_users}"
+            )
+        # Fraud budget: the campaign model must not schedule more frauds than
+        # the day's expected normal transaction budget can plausibly carry.
+        fraud = self.fraud
+        expected_frauds_per_day = num_fraudsters * (
+            fraud.repeat_offender_fraction
+            * fraud.active_day_probability
+            * max(1.0, fraud.frauds_per_active_day)
+            + (1.0 - fraud.repeat_offender_fraction) * 0.02
+        )
+        expected_normal_per_day = num_users * self.transactions_per_user_per_day
+        if expected_frauds_per_day > expected_normal_per_day:
+            raise DataGenerationError(
+                f"fraud parameters exceed the day's transaction budget: "
+                f"~{expected_frauds_per_day:.1f} planned frauds/day vs "
+                f"~{expected_normal_per_day:.1f} expected normal transactions/day; "
+                f"lower frauds_per_active_day/active_day_probability or raise "
+                f"transactions_per_user_per_day"
+            )
+        if self.arrival is not None:
+            self.arrival.validate(num_days=self.num_days)
 
 
 @dataclass
@@ -167,25 +306,18 @@ class _ActivityTracker:
 
 
 def generate_world(config: WorldConfig | None = None, *, rng: SeedLike = None) -> TransactionWorld:
-    """Generate a complete :class:`TransactionWorld`."""
+    """Generate a complete :class:`TransactionWorld`.
+
+    Since the streaming refactor this is a thin materialized view: it drains a
+    :class:`~repro.datagen.stream.WorldStream` (the same seeded generator the
+    lazy path iterates) into memory, so the output is bit-identical to the
+    pre-stream implementation at the same seed.  Large worlds should consume
+    the stream directly instead of materializing.
+    """
+    from repro.datagen.stream import WorldStream  # local import: stream builds on us
+
     config = config or WorldConfig()
-    config.validate()
-    master_rng = ensure_rng(config.seed if rng is None else rng)
-
-    profile_rng = spawn_child(master_rng, salt=1)
-    fraud_rng = spawn_child(master_rng, salt=2)
-    stream_rng = spawn_child(master_rng, salt=3)
-
-    profiles = ProfileGenerator(config.profile, rng=profile_rng).generate()
-    fraud_model = FraudsterBehaviorModel(profiles, config.fraud, rng=fraud_rng)
-    generator = _DailyStreamGenerator(config, profiles, stream_rng)
-
-    transactions: List[Transaction] = []
-    for day in range(config.num_days):
-        planned = fraud_model.plan_day(day)
-        transactions.extend(generator.generate_day(day, planned))
-
-    return TransactionWorld(config=config, profiles=profiles, transactions=transactions)
+    return WorldStream(config, rng=rng).materialize()
 
 
 class _DailyStreamGenerator:
@@ -225,6 +357,32 @@ class _DailyStreamGenerator:
         self._rng.shuffle(records)  # interleave within the day
         self._activity.decay()
         return records
+
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, object]:
+        """Snapshot mutable generator state for stream checkpointing.
+
+        O(active accounts): the activity tracker only retains accounts whose
+        decayed counters are still >= 1, and the device counter only accounts
+        that have transacted.
+        """
+        return {
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+            "payer_counts": dict(self._activity.payer_counts),
+            "payer_amounts": dict(self._activity.payer_amounts),
+            "payee_inbound": dict(self._activity.payee_inbound),
+            "txn_counter": self._txn_counter,
+            "device_counter": dict(self._device_counter),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot previously produced by :meth:`capture_state`."""
+        self._rng.bit_generator.state = copy.deepcopy(state["rng_state"])
+        self._activity.payer_counts = dict(state["payer_counts"])  # type: ignore[arg-type]
+        self._activity.payer_amounts = dict(state["payer_amounts"])  # type: ignore[arg-type]
+        self._activity.payee_inbound = dict(state["payee_inbound"])  # type: ignore[arg-type]
+        self._txn_counter = int(state["txn_counter"])  # type: ignore[arg-type]
+        self._device_counter = dict(state["device_counter"])  # type: ignore[arg-type]
 
     # ------------------------------------------------------------------
     def _next_id(self) -> str:

@@ -109,6 +109,12 @@ class AlipayServer:
     hot.  ``admission`` + ``fallback`` enable overload shedding during
     rate-driven replays: past the bounded backlog, arrivals are answered by
     the rule-based fallback instead of queueing unboundedly.
+
+    ``retain_served=False`` keeps only the running outcome counters instead
+    of the per-request :class:`ServedTransaction` list (and drops
+    notification strings), so sustained-load replays run in O(1) memory
+    regardless of stream length.  :meth:`report` is unaffected; ``served``
+    and ``notifications`` simply stay empty.
     """
 
     def __init__(
@@ -119,6 +125,7 @@ class AlipayServer:
         router=None,
         admission: Optional[AdmissionController] = None,
         fallback: Optional[RuleBasedFallback] = None,
+        retain_served: bool = True,
     ):
         if isinstance(model_servers, ModelServer):
             model_servers = [model_servers]
@@ -137,8 +144,17 @@ class AlipayServer:
             RuleBasedFallback() if admission is not None else None
         )
         self.feature_updater = feature_updater
+        self.retain_served = retain_served
         self.served: List[ServedTransaction] = []
         self.notifications: List[str] = []
+        self._counters = {
+            "total": 0,
+            "interrupted": 0,
+            "true_alerts": 0,
+            "false_alerts": 0,
+            "missed_frauds": 0,
+            "degraded": 0,
+        }
         #: Stats of the most recent coalesced replay (None before one runs).
         self.last_coalescer_stats: Optional[Dict[str, float]] = None
 
@@ -190,10 +206,11 @@ class AlipayServer:
     ) -> ServedTransaction:
         if response.is_fraud_alert:
             outcome = TransactionOutcome.INTERRUPTED
-            self.notifications.append(
-                f"transaction {request.transaction_id} interrupted: fraud probability "
-                f"{response.fraud_probability:.2%}; transferor {request.payer_id} notified"
-            )
+            if self.retain_served:
+                self.notifications.append(
+                    f"transaction {request.transaction_id} interrupted: fraud probability "
+                    f"{response.fraud_probability:.2%}; transferor {request.payer_id} notified"
+                )
         else:
             outcome = TransactionOutcome.APPROVED
         served = ServedTransaction(
@@ -203,7 +220,22 @@ class AlipayServer:
             was_fraud=was_fraud,
             degraded=degraded,
         )
-        self.served.append(served)
+        counters = self._counters
+        counters["total"] += 1
+        if degraded:
+            counters["degraded"] += 1
+        alerted = outcome is TransactionOutcome.INTERRUPTED
+        if alerted:
+            counters["interrupted"] += 1
+        if was_fraud is not None:
+            if alerted and was_fraud:
+                counters["true_alerts"] += 1
+            elif alerted:
+                counters["false_alerts"] += 1
+            elif was_fraud:
+                counters["missed_frauds"] += 1
+        if self.retain_served:
+            self.served.append(served)
         return served
 
     def process_batch(
@@ -287,8 +319,10 @@ class AlipayServer:
         *,
         batch_size: Optional[int] = None,
         arrival_rate_per_s: Optional[float] = None,
+        arrival_times_s: Optional[Iterable[float]] = None,
         coalescer: Optional[CoalescerConfig] = None,
         clock: str = "simulated",
+        presorted: bool = False,
     ) -> ServingReport:
         """Replay labelled transactions as a true event-time stream.
 
@@ -317,6 +351,21 @@ class AlipayServer:
         path.  ``clock="wall"`` requires ``arrival_rate_per_s``; the event
         loop always coalesces, so a missing ``coalescer`` config means the
         default :class:`~repro.serving.coalescer.CoalescerConfig`.
+
+        Streaming inputs: a :class:`~repro.datagen.stream.TransactionStream`
+        that declares ``event_time_ordered`` — or any iterable passed with
+        ``presorted=True`` — is consumed *lazily*, one event at a time,
+        without materializing or re-sorting the stream; that is how
+        million-transaction replays stay bounded-memory.  Other inputs keep
+        the historical behaviour (materialize, then sort by the canonical
+        event order).
+
+        ``arrival_times_s`` replaces the uniform ``i / rate`` arrival clock
+        with explicit per-event arrival times in seconds (non-decreasing, one
+        per transaction) — this is how the sustained-load harness replays a
+        diurnal curve whose instantaneous rate the admission controller must
+        ride.  Mutually exclusive with ``arrival_rate_per_s`` and only
+        supported under the simulated clock.
         """
         if clock not in ("simulated", "wall"):
             raise ServingError(f"clock must be 'simulated' or 'wall', got {clock!r}")
@@ -326,23 +375,32 @@ class AlipayServer:
             raise ServingError("batch_size must be at least 1")
         if coalescer is not None and batch_size is not None:
             raise ServingError("pass either batch_size or a coalescer config, not both")
-        if batch_size is not None and arrival_rate_per_s is not None:
+        if arrival_times_s is not None and arrival_rate_per_s is not None:
+            raise ServingError(
+                "pass either arrival_rate_per_s or arrival_times_s, not both"
+            )
+        if arrival_times_s is not None and clock == "wall":
+            raise ServingError("arrival_times_s requires the simulated clock")
+        has_arrival_clock = arrival_rate_per_s is not None or arrival_times_s is not None
+        if batch_size is not None and has_arrival_clock:
             raise ServingError(
                 "fixed-size batching has no arrival clock; under "
-                "arrival_rate_per_s use a coalescer config for micro-batching"
+                "an arrival clock use a coalescer config for micro-batching"
             )
-        if (coalescer is not None or self.admission is not None) and arrival_rate_per_s is None:
+        if (coalescer is not None or self.admission is not None) and not has_arrival_clock:
             raise ServingError(
                 "coalescing and admission control need an arrival clock; "
-                "pass arrival_rate_per_s"
+                "pass arrival_rate_per_s or arrival_times_s"
             )
         if arrival_rate_per_s is not None and arrival_rate_per_s <= 0:
             raise ServingError("arrival_rate_per_s must be positive")
-        ordered = sorted(transactions, key=event_order)
+        ordered = self._event_ordered(transactions, presorted=presorted)
         if clock == "wall":
             return self._replay_wall(ordered, arrival_rate_per_s, coalescer)
-        if arrival_rate_per_s is not None:
-            return self._replay_with_clock(ordered, arrival_rate_per_s, coalescer)
+        if has_arrival_clock:
+            return self._replay_with_clock(
+                ordered, arrival_rate_per_s, coalescer, arrival_times_s=arrival_times_s
+            )
         if batch_size is None:
             for transaction in ordered:
                 request = TransactionRequest.from_transaction(transaction)
@@ -358,19 +416,51 @@ class AlipayServer:
             self._process_transaction_batch(pending)
         return self.report()
 
+    @staticmethod
+    def _event_ordered(
+        transactions: Iterable[Transaction], *, presorted: bool
+    ) -> Iterable[Transaction]:
+        """The replay order: lazy for ordered streams, sorted otherwise."""
+        from repro.datagen.stream import TransactionStream
+
+        if isinstance(transactions, TransactionStream):
+            if transactions.event_time_ordered:
+                return transactions
+            return sorted(transactions, key=event_order)
+        if presorted:
+            return transactions
+        return sorted(transactions, key=event_order)
+
     def _replay_with_clock(
         self,
-        ordered: Sequence[Transaction],
-        arrival_rate_per_s: float,
+        ordered: Iterable[Transaction],
+        arrival_rate_per_s: Optional[float],
         coalescer_config: Optional[CoalescerConfig],
+        *,
+        arrival_times_s: Optional[Iterable[float]] = None,
     ) -> ServingReport:
         """Replay under a simulated arrival clock (admission + coalescing)."""
         request_coalescer = (
             RequestCoalescer(self, coalescer_config) if coalescer_config is not None else None
         )
-        interval_ms = 1000.0 / arrival_rate_per_s
+        interval_ms = (
+            1000.0 / arrival_rate_per_s if arrival_rate_per_s is not None else None
+        )
+        times = iter(arrival_times_s) if arrival_times_s is not None else None
+        last_now_ms = float("-inf")
         for index, transaction in enumerate(ordered):
-            now_ms = index * interval_ms
+            if times is not None:
+                try:
+                    now_ms = float(next(times)) * 1000.0
+                except StopIteration:
+                    raise ServingError(
+                        "arrival_times_s ran out before the transaction stream"
+                    ) from None
+                if now_ms < last_now_ms:
+                    raise ServingError("arrival_times_s must be non-decreasing")
+                last_now_ms = now_ms
+            else:
+                now_ms = index * interval_ms
             request = TransactionRequest.from_transaction(transaction)
             if self.admission is not None:
                 decision = self.admission.on_arrival(now_ms)
@@ -390,7 +480,7 @@ class AlipayServer:
 
     def _replay_wall(
         self,
-        ordered: Sequence[Transaction],
+        ordered: Iterable[Transaction],
         arrival_rate_per_s: float,
         coalescer_config: Optional[CoalescerConfig],
     ) -> ServingReport:
@@ -433,27 +523,21 @@ class AlipayServer:
 
     # ------------------------------------------------------------------
     def report(self) -> ServingReport:
-        """Aggregate everything served so far into a :class:`ServingReport`."""
-        total = len(self.served)
-        interrupted = sum(1 for s in self.served if s.outcome is TransactionOutcome.INTERRUPTED)
-        labelled = [s for s in self.served if s.was_fraud is not None]
-        true_alerts = sum(
-            1 for s in labelled if s.outcome is TransactionOutcome.INTERRUPTED and s.was_fraud
-        )
-        false_alerts = sum(
-            1 for s in labelled if s.outcome is TransactionOutcome.INTERRUPTED and not s.was_fraud
-        )
-        missed = sum(
-            1 for s in labelled if s.outcome is TransactionOutcome.APPROVED and s.was_fraud
-        )
+        """Aggregate everything served so far into a :class:`ServingReport`.
+
+        Built from running counters rather than the ``served`` list, so it
+        works identically with ``retain_served=False`` (bounded-memory
+        replays).
+        """
+        counters = self._counters
         return ServingReport(
-            total=total,
-            interrupted=interrupted,
-            approved=total - interrupted,
-            true_alerts=true_alerts,
-            false_alerts=false_alerts,
-            missed_frauds=missed,
-            degraded=sum(1 for s in self.served if s.degraded),
+            total=counters["total"],
+            interrupted=counters["interrupted"],
+            approved=counters["total"] - counters["interrupted"],
+            true_alerts=counters["true_alerts"],
+            false_alerts=counters["false_alerts"],
+            missed_frauds=counters["missed_frauds"],
+            degraded=counters["degraded"],
             peak_queue_depth=(
                 self.admission.peak_queue_depth if self.admission is not None else 0.0
             ),
@@ -475,5 +559,6 @@ class AlipayServer:
             "p50_ms": merged.p50_ms,
             "p95_ms": merged.p95_ms,
             "p99_ms": merged.p99_ms,
+            "p999_ms": merged.p999_ms,
             "sla_violations": float(merged.sla_violations),
         }

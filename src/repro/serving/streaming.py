@@ -25,7 +25,7 @@ delta-encode the set cells instead.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional, Set
+from typing import TYPE_CHECKING, Iterable, Optional, Set
 
 from repro.datagen.schema import Transaction
 from repro.features.streaming import SlidingWindowAggregator
@@ -121,6 +121,24 @@ class StreamingFeatureUpdater:
             self.publish_snapshot(as_of=watermark)
             self._last_refresh_watermark = watermark
             self.refreshes += 1
+
+    def observe_stream(self, transactions: Iterable[Transaction]) -> int:
+        """Ingest a lazily generated transaction stream, one event at a time.
+
+        Accepts any iterable — in particular a
+        :class:`~repro.datagen.stream.TransactionStream` — and never
+        materializes it; memory stays bounded by the aggregator's window
+        state.  Events must arrive in event-time order (within the
+        aggregator's lateness bound); the stream classes emit that order
+        directly.  Returns the number of events actually ingested (late
+        events beyond the retention horizon are skipped, as in
+        :meth:`observe_transaction`).
+        """
+        ingested = 0
+        for transaction in transactions:
+            if self.observe_transaction(transaction):
+                ingested += 1
+        return ingested
 
     def observe_request(self, request: "TransactionRequest") -> bool:
         """Ingest an online transaction request (the Alipay-server hook)."""
