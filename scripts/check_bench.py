@@ -27,7 +27,10 @@ Two jobs, both exercised by CI:
   ``perf_asserts_active`` (an honest single-core run cannot regress a
   multi-core baseline); otherwise the comparison is reported but advisory.
 
-Exits non-zero listing every violation.
+Violations are :class:`repro.analysis.Finding` records rendered through the
+shared reporters, so output (and the ``--json`` schema) matches
+``scripts/lint_repo.py`` and ``scripts/check_docs.py``.  Exits non-zero
+listing every violation.
 """
 
 from __future__ import annotations
@@ -36,9 +39,12 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import Finding, render_json, render_text  # noqa: E402
 
 #: Envelope fields every artifact must carry, with their required types.
 COMMON_REQUIRED = {
@@ -53,6 +59,11 @@ MODES = ("smoke", "full")
 
 #: Default relative throughput drop tolerated by the regression gate.
 DEFAULT_TOLERANCE = 0.30
+
+#: Rule ids used by this tool (one shared diagnostic format repo-wide).
+RULE_JSON = "bench-json"
+RULE_SCHEMA = "bench-schema"
+RULE_REGRESSION = "bench-regression"
 
 
 def _parallel_ps_throughput(results: Dict) -> float:
@@ -73,6 +84,14 @@ THROUGHPUT_METRICS: Dict[str, tuple] = {
 }
 
 
+def _artifact_path(path: Path) -> str:
+    """Repo-relative path for findings when possible, else the bare name."""
+    try:
+        return path.resolve().relative_to(REPO_ROOT).as_posix()
+    except ValueError:
+        return path.name
+
+
 def load_artifact(path: Path) -> Dict:
     try:
         return json.loads(path.read_text())
@@ -80,79 +99,86 @@ def load_artifact(path: Path) -> Dict:
         raise ValueError(f"{path.name}: not valid JSON ({exc})") from exc
 
 
-def validate_artifact(path: Path, results: Dict, *, check_filename: bool = True) -> List[str]:
+def validate_artifact(path: Path, results: Dict, *, check_filename: bool = True) -> List[Finding]:
     """All schema violations of one artifact (empty list means valid).
 
     ``check_filename=False`` skips the filename <-> ``benchmark`` coupling:
     regression candidates are often freshly written to temporary paths.
     """
-    errors: List[str] = []
+    rel = _artifact_path(path)
+    findings: List[Finding] = []
+
+    def violation(message: str) -> None:
+        findings.append(Finding(path=rel, line=1, rule=RULE_SCHEMA, message=message))
+
     for field, expected_type in COMMON_REQUIRED.items():
         if field not in results:
-            errors.append(f"{path.name}: missing required field {field!r}")
+            violation(f"missing required field {field!r}")
         elif not isinstance(results[field], expected_type):
-            errors.append(
-                f"{path.name}: field {field!r} must be {expected_type.__name__}, "
+            violation(
+                f"field {field!r} must be {expected_type.__name__}, "
                 f"got {type(results[field]).__name__}"
             )
-    if errors:
-        return errors
+    if findings:
+        return findings
     expected_name = f"BENCH_{results['benchmark']}.json"
     if check_filename and path.name != expected_name:
-        errors.append(
-            f"{path.name}: benchmark field {results['benchmark']!r} implies "
-            f"filename {expected_name}"
+        violation(
+            f"benchmark field {results['benchmark']!r} implies filename {expected_name}"
         )
     if results["mode"] not in MODES:
-        errors.append(f"{path.name}: mode must be one of {MODES}, got {results['mode']!r}")
+        violation(f"mode must be one of {MODES}, got {results['mode']!r}")
     if results["cpu_count"] < 1:
-        errors.append(f"{path.name}: cpu_count must be positive")
+        violation("cpu_count must be positive")
     metric = THROUGHPUT_METRICS.get(results["benchmark"])
     if metric is None:
-        errors.append(
-            f"{path.name}: unknown benchmark {results['benchmark']!r} — register its "
+        violation(
+            f"unknown benchmark {results['benchmark']!r} — register its "
             "headline metric in scripts/check_bench.py THROUGHPUT_METRICS"
         )
-        return errors
+        return findings
     extractor, label = metric
     try:
         throughput = extractor(results)
     except (KeyError, TypeError, ValueError) as exc:
-        errors.append(f"{path.name}: cannot extract {label} ({exc!r})")
-        return errors
+        violation(f"cannot extract {label} ({exc!r})")
+        return findings
     if not throughput > 0:
-        errors.append(f"{path.name}: {label} must be positive, got {throughput}")
-    return errors
+        violation(f"{label} must be positive, got {throughput}")
+    return findings
 
 
-def validate_all(root: Path) -> int:
+def validate_all(root: Path, *, as_json: bool = False) -> int:
     artifacts = sorted(root.glob("BENCH_*.json"))
     if not artifacts:
         print(f"no BENCH_*.json artifacts under {root}", file=sys.stderr)
         return 1
-    errors: List[str] = []
+    findings: List[Finding] = []
     for path in artifacts:
         try:
             results = load_artifact(path)
         except ValueError as exc:
-            errors.append(str(exc))
+            findings.append(
+                Finding(path=_artifact_path(path), line=1, rule=RULE_JSON, message=str(exc))
+            )
             continue
         violations = validate_artifact(path, results)
-        errors.extend(violations)
-        if not violations:
+        findings.extend(violations)
+        if not violations and not as_json:
             extractor, label = THROUGHPUT_METRICS[results["benchmark"]]
             print(
                 f"ok {path.name}: mode={results['mode']} "
                 f"{label}={extractor(results):,.0f}"
             )
-    for error in errors:
-        print(f"error: {error}", file=sys.stderr)
-    return 1 if errors else 0
+    if as_json:
+        print(render_json(findings, tool="check_bench"), end="")
+    else:
+        print(render_text(findings, tool="check_bench"), file=sys.stderr if findings else sys.stdout)
+    return 1 if findings else 0
 
 
 def check_regression(candidate: Path, baseline: Path, tolerance: float) -> int:
     """Fail when the candidate's headline throughput regresses past tolerance."""
-    errors: List[str] = []
     results = {}
     for role, path in (("candidate", candidate), ("baseline", baseline)):
         try:
@@ -163,7 +189,7 @@ def check_regression(candidate: Path, baseline: Path, tolerance: float) -> int:
         violations = validate_artifact(path, data, check_filename=False)
         if violations:
             for violation in violations:
-                print(f"error: {role} {violation}", file=sys.stderr)
+                print(f"error: {role} {violation.format()}", file=sys.stderr)
             return 1
         results[role] = data
     if results["candidate"]["benchmark"] != results["baseline"]["benchmark"]:
@@ -188,11 +214,16 @@ def check_regression(candidate: Path, baseline: Path, tolerance: float) -> int:
         f"({change:+.1%}, tolerance -{tolerance:.0%}, {status})"
     )
     if enforced and change < -tolerance:
-        print(
-            f"error: throughput regression {change:+.1%} exceeds the "
-            f"-{tolerance:.0%} tolerance",
-            file=sys.stderr,
+        regression = Finding(
+            path=_artifact_path(candidate),
+            line=1,
+            rule=RULE_REGRESSION,
+            message=(
+                f"throughput regression {change:+.1%} exceeds the "
+                f"-{tolerance:.0%} tolerance"
+            ),
         )
+        print(render_text([regression], tool="check_bench"), file=sys.stderr)
         return 1
     return 0
 
@@ -214,6 +245,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=DEFAULT_TOLERANCE,
         help="max tolerated relative throughput drop (default 0.30)",
     )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the shared JSON report schema (validation mode)"
+    )
     args = parser.parse_args(argv)
     if (args.candidate is None) != (args.baseline is None):
         parser.error("--candidate and --baseline must be given together")
@@ -221,7 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--tolerance must be in [0, 1)")
     if args.candidate is not None:
         return check_regression(args.candidate, args.baseline, args.tolerance)
-    return validate_all(args.root)
+    return validate_all(args.root, as_json=args.json)
 
 
 if __name__ == "__main__":

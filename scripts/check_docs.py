@@ -9,17 +9,25 @@ Scans ``README.md`` and ``docs/*.md`` for
   (``bench_*.py`` / ``test_*.py`` basenames, or any ``path/with/slash.py``
   or ``.md``) must resolve to an existing file.
 
-Exits non-zero listing every dangling reference.  Run by the docs CI job and
-locally with ``python scripts/check_docs.py``.
+Diagnostics are :class:`repro.analysis.Finding` records rendered through the
+shared reporters, so the output format (and ``--json`` schema) matches
+``scripts/lint_repo.py`` and ``scripts/check_bench.py``.  Exits non-zero
+listing every dangling reference.  Run by the docs CI job and locally with
+``python scripts/check_docs.py``.
 """
 
 from __future__ import annotations
 
+import argparse
 import re
 import sys
 from pathlib import Path
+from typing import List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import Finding, render_json, render_text  # noqa: E402
 
 MARKDOWN_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 INLINE_CODE = re.compile(r"`([^`\n]+)`")
@@ -36,10 +44,19 @@ def doc_files() -> list:
     return [path for path in files if path.exists()]
 
 
-def check_file(path: Path) -> list:
-    errors = []
+def _line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def check_file(path: Path) -> List[Finding]:
+    findings: List[Finding] = []
     text = path.read_text()
-    rel = path.relative_to(REPO_ROOT)
+    rel = path.relative_to(REPO_ROOT).as_posix()
+
+    def finding(offset: int, rule: str, message: str) -> None:
+        findings.append(
+            Finding(path=rel, line=_line_of(text, offset), rule=rule, message=message)
+        )
 
     for match in MARKDOWN_LINK.finditer(text):
         target = match.group(1).split("#", 1)[0]
@@ -47,36 +64,44 @@ def check_file(path: Path) -> list:
             continue
         resolved = (path.parent / target).resolve()
         if not resolved.exists():
-            errors.append(f"{rel}: broken link -> {match.group(1)}")
+            finding(match.start(), "doc-link", f"broken link -> {match.group(1)}")
 
     for match in INLINE_CODE.finditer(text):
         token = match.group(1).strip()
         if BASENAME_PATTERN.match(token):
             if not any((REPO_ROOT / d / token).exists() for d in BASENAME_DIRS):
-                errors.append(f"{rel}: referenced file not found -> `{token}`")
+                finding(match.start(), "doc-file-ref", f"referenced file not found -> `{token}`")
         elif PATH_PATTERN.match(token):
             # Tokens like `src/repro/serving/` style paths are checked too;
             # trailing-slash directory mentions fall through to the dir check.
             if not (REPO_ROOT / token).exists():
-                errors.append(f"{rel}: referenced file not found -> `{token}`")
+                finding(match.start(), "doc-file-ref", f"referenced file not found -> `{token}`")
         elif token.endswith("/") and re.match(r"^[\w./-]+$", token):
             if not (REPO_ROOT / token).is_dir():
-                errors.append(f"{rel}: referenced directory not found -> `{token}`")
-    return errors
+                finding(
+                    match.start(), "doc-dir-ref", f"referenced directory not found -> `{token}`"
+                )
+    return findings
 
 
-def main() -> None:
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Doc link checker")
+    parser.add_argument("--json", action="store_true", help="emit the shared JSON report schema")
+    args = parser.parse_args(argv)
+
     files = doc_files()
-    errors = []
+    findings: List[Finding] = []
     for path in files:
-        errors.extend(check_file(path))
-    if errors:
-        print(f"doc link check failed ({len(errors)} dangling reference(s)):", file=sys.stderr)
-        for error in errors:
-            print(f"  - {error}", file=sys.stderr)
-        sys.exit(1)
-    print(f"doc link check passed ({len(files)} file(s))")
+        findings.extend(check_file(path))
+    if args.json:
+        print(render_json(findings, tool="check_docs"), end="")
+    else:
+        stream = sys.stderr if findings else sys.stdout
+        print(render_text(findings, tool="check_docs"), file=stream)
+        if not findings:
+            print(f"doc link check passed ({len(files)} file(s))")
+    return 1 if findings else 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

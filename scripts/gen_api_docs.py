@@ -183,6 +183,14 @@ PUBLIC_API = [
         ["DistributedDeepWalk"],
         "Sparse pull/push DeepWalk training on the parameter-server cluster.",
     ),
+    (
+        "Static analysis",
+        "repro.analysis",
+        ["Finding", "Checker", "Baseline", "AnalysisReport", "run_analysis"],
+        "The AST-based invariant linter behind scripts/lint_repo.py: one "
+        "shared diagnostic record for all repo tooling, the checker/rule "
+        "registry, baseline suppression and the analysis runner.",
+    ),
 ]
 
 HEADER = """\

@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Invariant linter: statically enforce the repo's correctness contracts.
+
+Runs the five AST checkers of :mod:`repro.analysis` over ``src/repro``:
+
+* ``rng-discipline`` — all randomness flows through seeded Generators,
+* ``clock-discipline`` — simulated-clock code never reads the wall clock,
+* ``shm-lifecycle`` — shared-memory allocations have a reachable release,
+* ``layering`` — the subsystem import DAG holds,
+* ``iteration-order`` — no hash-order iteration feeds checksummed output.
+
+Deliberate violations live in ``src/repro/analysis/baseline.json`` with a
+reviewed reason; everything else fails the run with ``path:line: [rule]
+message`` diagnostics.  Usage::
+
+    PYTHONPATH=src python scripts/lint_repo.py              # lint src/repro
+    PYTHONPATH=src python scripts/lint_repo.py --check      # CI: also fail on stale baseline
+    PYTHONPATH=src python scripts/lint_repo.py --json       # machine-readable report
+    PYTHONPATH=src python scripts/lint_repo.py --rules layering path/to/file.py
+    PYTHONPATH=src python scripts/lint_repo.py --write-baseline  # accept current findings
+
+(The script bootstraps ``sys.path`` itself, so plain
+``python scripts/lint_repo.py`` works too.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import (  # noqa: E402
+    Baseline,
+    all_rule_ids,
+    default_checkers,
+    run_analysis,
+)
+
+DEFAULT_TARGET = REPO_ROOT / "src" / "repro"
+DEFAULT_BASELINE = REPO_ROOT / "src" / "repro" / "analysis" / "baseline.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI mode: additionally fail when the baseline has stale entries",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the JSON report")
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline file of deliberate violations (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline (report every finding)",
+    )
+    parser.add_argument(
+        "--rules",
+        nargs="+",
+        metavar="RULE",
+        help="run only these rule ids (see --list-rules)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline to accept every current finding",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list registered rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for checker in default_checkers():
+            print(f"{checker.rule_id}: {checker.description}")
+        return 0
+
+    targets = args.paths or [DEFAULT_TARGET]
+    baseline = Baseline() if args.no_baseline else Baseline.load(args.baseline)
+    checkers = default_checkers(args.rules)
+
+    findings = []
+    suppressed = []
+    stale = []
+    files_scanned = 0
+    for target in targets:
+        if not target.exists():
+            print(f"error: no such path: {target}", file=sys.stderr)
+            return 2
+        report = run_analysis(
+            target.resolve(),
+            repo_root=REPO_ROOT,
+            checkers=default_checkers(args.rules) if len(targets) > 1 else checkers,
+            baseline=baseline,
+        )
+        findings.extend(report.all_findings())
+        suppressed.extend(report.suppressed)
+        stale.extend(report.stale_baseline)
+        files_scanned += report.files_scanned
+    # Stale entries are per-run complements; with the default single target
+    # they are exact.  With multiple explicit targets an entry is stale only
+    # if no target matched it.
+    if len(targets) > 1:
+        matched = {f.fingerprint() for f in suppressed}
+        stale = [e for e in baseline.entries if e.fingerprint() not in matched]
+
+    if args.write_baseline:
+        new_baseline = Baseline.from_findings(
+            findings + suppressed, reason="accepted by --write-baseline; review me"
+        )
+        new_baseline.save(args.baseline)
+        print(
+            f"wrote {args.baseline.relative_to(REPO_ROOT)} "
+            f"({len(new_baseline.entries)} suppression(s))"
+        )
+        return 0
+
+    from repro.analysis.reporters import render_json, render_text
+
+    if args.json:
+        print(
+            render_json(findings, suppressed=suppressed, stale_baseline=stale),
+            end="",
+        )
+    else:
+        print(render_text(findings, suppressed=suppressed, stale_baseline=stale))
+        print(f"lint: scanned {files_scanned} file(s) across {len(args.rules or all_rule_ids())} rule(s)")
+    if findings:
+        return 1
+    if args.check and stale:
+        print(
+            "error: baseline has stale entries; remove them from "
+            f"{args.baseline} (the violations they suppressed are gone)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Determinism sanitizer: tagged tests diffed across PYTHONHASHSEED values.
+
+The static side of the determinism contract is the ``iteration-order`` lint
+rule; this is the dynamic side.  It runs the ``@pytest.mark.determinism``
+subset of the tier-1 suite **twice in fresh interpreters with different
+``PYTHONHASHSEED`` values**.  Each run records named checksums of
+deterministic artifacts (generated worlds, feature matrices, walk corpora,
+model predictions) via the ``record_checksum`` fixture in
+``tests/conftest.py``; the sanitizer then diffs the two checksum maps.
+
+Any difference means some code path iterates in hash order (a set, hashed
+dict keys, ...) on the way to output that is supposed to be a pure function
+of the seed — the bug class that silently breaks the repo's bit-identity
+guarantees.
+
+Usage::
+
+    python scripts/run_determinism_check.py                 # seeds 0 and 101
+    python scripts/run_determinism_check.py --hash-seeds 1 4242
+    python scripts/run_determinism_check.py -- -k world     # extra pytest args
+
+Exits 0 when both runs pass and every checksum agrees; 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+MARKER = "determinism"
+
+
+def run_tagged_tests(
+    hash_seed: str, checksum_file: Path, extra_args: List[str]
+) -> int:
+    """One fresh-interpreter pytest run of the tagged subset."""
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["REPRO_CHECKSUM_FILE"] = str(checksum_file)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "-m",
+        MARKER,
+        *extra_args,
+    ]
+    print(f"== PYTHONHASHSEED={hash_seed}: {' '.join(command)}")
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+def load_checksums(path: Path, hash_seed: str) -> Optional[Dict[str, str]]:
+    """The checksum map one run recorded (``None`` when missing/empty)."""
+    if not path.exists():
+        print(f"error: run with PYTHONHASHSEED={hash_seed} wrote no checksum file", file=sys.stderr)
+        return None
+    data = json.loads(path.read_text())
+    if not data:
+        print(
+            f"error: run with PYTHONHASHSEED={hash_seed} recorded no checksums "
+            f"(no @pytest.mark.{MARKER} tests collected?)",
+            file=sys.stderr,
+        )
+        return None
+    return dict(data)
+
+
+def diff_checksums(first: Dict[str, str], second: Dict[str, str]) -> List[str]:
+    """Human-readable differences between two checksum maps."""
+    problems: List[str] = []
+    for key in sorted(set(first) | set(second)):
+        if key not in first:
+            problems.append(f"only second run recorded {key}")
+        elif key not in second:
+            problems.append(f"only first run recorded {key}")
+        elif first[key] != second[key]:
+            problems.append(
+                f"checksum mismatch for {key}: {first[key][:16]}... != {second[key][:16]}..."
+            )
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--hash-seeds",
+        nargs=2,
+        default=["0", "101"],
+        metavar=("SEED_A", "SEED_B"),
+        help="the two PYTHONHASHSEED values to compare (default: 0 101)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+    seed_a, seed_b = args.hash_seeds
+    if seed_a == seed_b:
+        parser.error("the two hash seeds must differ")
+
+    with tempfile.TemporaryDirectory(prefix="repro-determinism-") as tmp:
+        tmpdir = Path(tmp)
+        maps: List[Dict[str, str]] = []
+        for hash_seed in (seed_a, seed_b):
+            checksum_file = tmpdir / f"checksums-{hash_seed}.json"
+            status = run_tagged_tests(hash_seed, checksum_file, args.pytest_args)
+            if status != 0:
+                print(
+                    f"error: tagged tests failed under PYTHONHASHSEED={hash_seed}",
+                    file=sys.stderr,
+                )
+                return 1
+            loaded = load_checksums(checksum_file, hash_seed)
+            if loaded is None:
+                return 1
+            maps.append(loaded)
+
+    problems = diff_checksums(maps[0], maps[1])
+    if problems:
+        print(
+            f"determinism check FAILED ({len(problems)} difference(s) between "
+            f"PYTHONHASHSEED={seed_a} and PYTHONHASHSEED={seed_b}):",
+            file=sys.stderr,
+        )
+        for problem in problems:
+            print(f"  - {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"determinism check passed: {len(maps[0])} checksum(s) identical under "
+        f"PYTHONHASHSEED={seed_a} and {seed_b}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Baseline suppression: deliberate violations, recorded and reviewed.
+
+Some flagged sites are intentional — e.g. the TTL row cache defaults to
+``time.monotonic()`` when the caller passes no clock, because it genuinely
+serves wall-clock deployments.  Such findings are recorded in a committed
+``baseline.json`` with a human *reason*, and the linter reports them as
+suppressed instead of failing.  Baseline entries match on ``(rule, path,
+message)`` — not the line number — so unrelated edits cannot un-suppress
+them, and entries that no longer match anything are reported as *stale* so
+the baseline can only shrink deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding
+
+#: Schema version written into baseline files.
+BASELINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One suppressed finding plus the reason it is deliberate."""
+
+    rule: str
+    path: str
+    message: str
+    reason: str = ""
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Matching key, identical to ``Finding.fingerprint()``."""
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> Dict[str, str]:
+        """JSON-serialisable form stored in ``baseline.json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "message": self.message,
+            "reason": self.reason,
+        }
+
+
+class Baseline:
+    """A set of deliberately-accepted findings loaded from ``baseline.json``."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self._index: Dict[Tuple[str, str, str], BaselineEntry] = {
+            entry.fingerprint(): entry for entry in self.entries
+        }
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        entries = [
+            BaselineEntry(
+                rule=str(item["rule"]),
+                path=str(item["path"]),
+                message=str(item["message"]),
+                reason=str(item.get("reason", "")),
+            )
+            for item in data.get("suppressions", [])
+        ]
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding], *, reason: str = "") -> "Baseline":
+        """Baseline every given finding (the ``--write-baseline`` path)."""
+        return cls(
+            [
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    message=finding.message,
+                    reason=reason,
+                )
+                for finding in sorted(set(findings))
+            ]
+        )
+
+    def save(self, path: Path) -> None:
+        """Write the baseline as stable, diff-friendly JSON."""
+        payload = {
+            "version": BASELINE_VERSION,
+            "suppressions": [
+                entry.to_dict() for entry in sorted(self.entries, key=lambda e: e.fingerprint())
+            ],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+    def suppresses(self, finding: Finding) -> bool:
+        """Whether ``finding`` matches a baseline entry."""
+        return finding.fingerprint() in self._index
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into ``(new, suppressed)`` in stable order."""
+        new: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in sorted(findings):
+            (suppressed if self.suppresses(finding) else new).append(finding)
+        return new, suppressed
+
+    def stale_entries(self, findings: Sequence[Finding]) -> List[BaselineEntry]:
+        """Entries that no current finding matches (candidates for removal)."""
+        seen: Set[Tuple[str, str, str]] = {finding.fingerprint() for finding in findings}
+        return [entry for entry in self.entries if entry.fingerprint() not in seen]

@@ -1,0 +1,109 @@
+"""Rule ``iteration-order``: no hash-order iteration feeds deterministic output.
+
+Sets (and ``os.listdir``) iterate in an order that depends on
+``PYTHONHASHSEED`` and the filesystem respectively.  Any such iteration in
+code that feeds checksummed or bit-identity-tested output (transaction
+generation, feature assembly, walk corpora, PS shard updates) produces
+results that differ between runs even at the same seed — exactly the bug
+class ``scripts/run_determinism_check.py`` hunts dynamically by running the
+tagged tests under two hash seeds.  This rule catches the static shape:
+
+* ``for``-loop or comprehension iteration directly over ``set(...)``, a set
+  literal, a set comprehension, or a binary set expression (``a | b``),
+* ``os.listdir`` / ``os.scandir`` / ``Path.iterdir`` / ``glob.glob`` /
+  ``Path.glob``/``rglob`` results used without a wrapping ``sorted(...)``.
+
+Dict iteration is fine (insertion-ordered since Python 3.7), and iterating
+a *variable* that happens to hold a set is out of static reach — the
+dynamic sanitizer covers that remainder.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro.analysis.findings import Finding
+from repro.analysis.framework import Checker, ModuleContext, attach_parents, dotted_name, parent_of, register
+
+#: Call names producing filesystem listings in arbitrary order.
+LISTING_FUNCTIONS = {"listdir", "scandir", "iterdir", "glob", "rglob"}
+
+
+def _is_set_expression(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and node.func.id == "set":
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+def _is_listing_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if not name:
+        return False
+    return name.split(".")[-1] in LISTING_FUNCTIONS
+
+
+def _inside_sorted(node: ast.AST) -> bool:
+    current = parent_of(node)
+    while current is not None:
+        if isinstance(current, ast.Call):
+            name = dotted_name(current.func)
+            if name in {"sorted", "len", "set", "frozenset", "min", "max", "sum"} or (
+                name and name.split(".")[-1] == "sort"
+            ):
+                return True
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return False
+        current = parent_of(current)
+    return False
+
+
+@register
+class IterationOrderChecker(Checker):
+    """Flags iteration whose order depends on hashing or the filesystem."""
+
+    rule_id = "iteration-order"
+    description = (
+        "no iteration over set expressions or unsorted os.listdir/glob in "
+        "code feeding checksummed output; wrap in sorted(...)"
+    )
+
+    def check_module(self, ctx: ModuleContext) -> List[Finding]:
+        """Flag hash-order and filesystem-order iteration in one module."""
+        attach_parents(ctx.tree)
+        findings: List[Finding] = []
+        iter_targets: List[ast.AST] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iter_targets.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for generator in node.generators:
+                    iter_targets.append(generator.iter)
+        for target in iter_targets:
+            if _is_set_expression(target):
+                findings.append(
+                    ctx.finding(
+                        target,
+                        self.rule_id,
+                        "iteration over a set has PYTHONHASHSEED-dependent "
+                        "order; wrap in sorted(...) before iterating",
+                    )
+                )
+        for node in ast.walk(ctx.tree):
+            if _is_listing_call(node) and not _inside_sorted(node):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"{dotted_name(node.func)}(...) yields entries in "  # type: ignore[union-attr]
+                        "filesystem order; wrap in sorted(...) for "
+                        "deterministic output",
+                    )
+                )
+        return findings

@@ -1,0 +1,73 @@
+"""Render findings for humans (text) and machines (JSON).
+
+Every repo tool that reports diagnostics — the invariant linter, the doc
+link checker, the benchmark artifact validator — goes through these two
+functions, so all tooling output shares one format and one JSON schema.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.baseline import BaselineEntry
+from repro.analysis.findings import Finding
+
+#: Version of the JSON report schema (bumped on incompatible change).
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(
+    findings: Sequence[Finding],
+    *,
+    suppressed: Sequence[Finding] = (),
+    stale_baseline: Sequence[BaselineEntry] = (),
+    tool: str = "lint",
+) -> str:
+    """Human-readable report: one ``path:line: [rule] message`` per finding.
+
+    Suppressed findings and stale baseline entries are summarised after the
+    main listing so a clean run still shows what the baseline is hiding.
+    """
+    lines: List[str] = []
+    for finding in sorted(findings):
+        lines.append(finding.format())
+    if findings:
+        lines.append(f"{tool}: {len(findings)} finding(s)")
+    else:
+        lines.append(f"{tool}: clean")
+    if suppressed:
+        lines.append(f"{tool}: {len(suppressed)} finding(s) suppressed by baseline")
+    for entry in stale_baseline:
+        lines.append(
+            f"{tool}: stale baseline entry [{entry.rule}] {entry.path}: {entry.message!r}"
+        )
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    *,
+    suppressed: Sequence[Finding] = (),
+    stale_baseline: Sequence[BaselineEntry] = (),
+    tool: str = "lint",
+) -> str:
+    """Machine-readable report with a stable schema.
+
+    Top-level keys: ``schema_version``, ``tool``, ``counts`` (``findings`` /
+    ``suppressed`` / ``stale_baseline``), ``findings`` (sorted
+    ``Finding.to_dict`` records), ``suppressed`` and ``stale_baseline``.
+    """
+    payload: Dict[str, object] = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "tool": tool,
+        "counts": {
+            "findings": len(findings),
+            "suppressed": len(suppressed),
+            "stale_baseline": len(stale_baseline),
+        },
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+        "suppressed": [finding.to_dict() for finding in sorted(suppressed)],
+        "stale_baseline": [entry.to_dict() for entry in stale_baseline],
+    }
+    return json.dumps(payload, indent=2) + "\n"

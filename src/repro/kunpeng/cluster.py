@@ -110,7 +110,9 @@ class KunPengCluster:
     only the per-shard data operation dispatches.
     """
 
-    def __init__(self, config: ClusterConfig | None = None, *, backend: str = "inline"):
+    def __init__(
+        self, config: ClusterConfig | None = None, *, backend: str = "inline"
+    ) -> None:
         self.config = config or ClusterConfig()
         self.config.validate()
         if backend not in BACKENDS:
@@ -156,7 +158,12 @@ class KunPengCluster:
         """Enter a ``with`` block that closes the cluster backend on exit."""
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[object],
+    ) -> None:
         """Close the backend (stop shard processes) when the block ends."""
         self.close()
 

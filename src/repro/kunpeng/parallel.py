@@ -36,10 +36,14 @@ import multiprocessing
 import os
 import re
 import secrets
+from types import TracebackType
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 from multiprocessing import shared_memory
+from multiprocessing.connection import Connection
+from multiprocessing.context import BaseContext
+from numpy.typing import DTypeLike
 
 from repro.exceptions import ParameterServerError
 from repro.logging_utils import get_logger
@@ -69,7 +73,7 @@ class SharedBlockManager:
     segments behind.
     """
 
-    def __init__(self, prefix: Optional[str] = None):
+    def __init__(self, prefix: Optional[str] = None) -> None:
         #: Namespace of every segment this manager creates (unique per
         #: instance so concurrent clusters never collide).
         self.prefix = prefix or f"repro{os.getpid():x}x{secrets.token_hex(3)}"
@@ -84,7 +88,9 @@ class SharedBlockManager:
         """The OS-level segment name backing block ``key``."""
         return f"{self.prefix}_{_sanitize_key(key)}"
 
-    def allocate(self, key: str, shape: Tuple[int, ...], dtype=np.float64) -> np.ndarray:
+    def allocate(
+        self, key: str, shape: Tuple[int, ...], dtype: DTypeLike = np.float64
+    ) -> np.ndarray:
         """Create a shared segment for ``key`` and return its numpy view."""
         if self._closed:
             raise ParameterServerError("SharedBlockManager is closed")
@@ -102,7 +108,7 @@ class SharedBlockManager:
 
     @staticmethod
     def attach(
-        segment_name: str, shape: Tuple[int, ...], dtype=np.float64
+        segment_name: str, shape: Tuple[int, ...], dtype: DTypeLike = np.float64
     ) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
         """Map an existing segment (owned elsewhere) as a numpy view.
 
@@ -153,7 +159,12 @@ class SharedBlockManager:
         """Enter a ``with`` block that unlinks all segments on exit."""
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         """Release every owned segment when the ``with`` block ends."""
         self.close()
 
@@ -163,7 +174,7 @@ class SharedBlockManager:
 # ---------------------------------------------------------------------------
 
 
-def _shard_worker_main(conn) -> None:
+def _shard_worker_main(conn: Connection) -> None:
     """Command loop of one shard process.
 
     Commands arrive on a FIFO pipe and are applied in issue order, which is
@@ -222,7 +233,7 @@ def _shard_worker_main(conn) -> None:
 class _ShardHandle:
     """Driver-side endpoint of one shard process: pipe, liveness, fencing."""
 
-    def __init__(self, shard_index: int, context) -> None:
+    def __init__(self, shard_index: int, context: BaseContext) -> None:
         self.shard_index = shard_index
         self.conn, child_conn = context.Pipe()
         self.process = context.Process(
@@ -289,7 +300,7 @@ class ProcessShardRuntime:
     never talk to it directly.
     """
 
-    def __init__(self, num_shards: int, *, start_method: Optional[str] = None):
+    def __init__(self, num_shards: int, *, start_method: Optional[str] = None) -> None:
         if num_shards < 1:
             raise ParameterServerError("process runtime needs at least one shard")
         self.num_shards = num_shards
@@ -426,6 +437,11 @@ class ProcessShardRuntime:
         """Enter a ``with`` block that stops the shard fleet on exit."""
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
         """Stop every shard and unlink shared memory when the block ends."""
         self.stop()

@@ -33,7 +33,7 @@ class _Shard:
 class ParameterServerNode:
     """One server node holding shards of named parameter matrices."""
 
-    def __init__(self, node_id: int):
+    def __init__(self, node_id: int) -> None:
         self.node_id = node_id
         self._shards: Dict[str, _Shard] = {}
         self.pull_count = 0

@@ -29,7 +29,7 @@ class WorkerStats:
 class WorkerNode:
     """One worker node with an assigned data partition."""
 
-    def __init__(self, node_id: int):
+    def __init__(self, node_id: int) -> None:
         self.node_id = node_id
         self.partition: List[Any] = []
         self.state: Dict[str, Any] = {}

@@ -169,7 +169,7 @@ class DistributedDeepWalk(NRLModel):
     def _replay_walker(self) -> RandomWalker:
         """A fresh walker over the run's fixed walk stream (shared CSR arrays)."""
         assert self._walker is not None and self.walk_seed is not None
-        return self._walker.reseeded(np.random.default_rng(self.walk_seed))
+        return self._walker.reseeded(ensure_rng(self.walk_seed))
 
     # ------------------------------------------------------------------
     def fit(
@@ -183,7 +183,7 @@ class DistributedDeepWalk(NRLModel):
             raise EmbeddingError("cannot fit DistributedDeepWalk on an empty network")
         cfg = self.config
         self.walk_seed = int(spawn_child(self._rng, salt=11).integers(0, 2**63 - 1))
-        self._walker = RandomWalker(network, cfg.walk, rng=np.random.default_rng(self.walk_seed))
+        self._walker = RandomWalker(network, cfg.walk, rng=ensure_rng(self.walk_seed))
 
         # 1. Stream the walk corpus once to build the vocabulary; the
         #    configured min_count pruning applies exactly as in the

@@ -55,7 +55,9 @@ class RequestCoalescer:
     (which routes each flushed batch through the configured fleet policy).
     """
 
-    def __init__(self, alipay: "AlipayServer", config: Optional[CoalescerConfig] = None):
+    def __init__(
+        self, alipay: "AlipayServer", config: Optional[CoalescerConfig] = None
+    ) -> None:
         self.alipay = alipay
         self.config = config or CoalescerConfig()
         self.config.validate()

@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Sequence
 
 from repro.exceptions import ServingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.model_server import ModelServer
 
 
 def _stable_hash(key: str) -> int:
@@ -119,7 +122,7 @@ class ServingRouter:
         return shards
 
 
-def fleet_cache_stats(model_servers: Sequence) -> Dict[str, float]:
+def fleet_cache_stats(model_servers: Sequence["ModelServer"]) -> Dict[str, float]:
     """Aggregate RowCache hit/miss statistics across a Model Server fleet.
 
     Each server holds its own HBase connection (its own client-side cache in

@@ -8,6 +8,11 @@ realistic data.
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+from typing import Dict
+
 import numpy as np
 import pytest
 
@@ -21,6 +26,40 @@ from repro.graph.builder import build_network
 
 TEST_NETWORK_DAYS = 18
 TEST_TRAIN_DAYS = 6
+
+# ---------------------------------------------------------------------------
+# Determinism sanitizer support (scripts/run_determinism_check.py)
+# ---------------------------------------------------------------------------
+
+#: ``"<test nodeid>::<name>" -> checksum`` recorded by the ``record_checksum``
+#: fixture during this session.
+_RECORDED_CHECKSUMS: Dict[str, str] = {}
+
+
+@pytest.fixture
+def record_checksum(request):
+    """Record named checksums for the determinism sanitizer.
+
+    Tests marked ``@pytest.mark.determinism`` call
+    ``record_checksum("name", digest)`` with a digest of their
+    deterministic output.  When ``REPRO_CHECKSUM_FILE`` is set (by
+    ``scripts/run_determinism_check.py``), every recorded value is dumped
+    there at session end; the sanitizer runs the tagged subset twice under
+    different ``PYTHONHASHSEED`` values and fails if any checksum differs —
+    the dynamic complement of the static ``iteration-order`` lint rule.
+    """
+
+    def _record(name: str, value) -> None:
+        _RECORDED_CHECKSUMS[f"{request.node.nodeid}::{name}"] = str(value)
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    out = os.environ.get("REPRO_CHECKSUM_FILE")
+    if out:
+        payload = dict(sorted(_RECORDED_CHECKSUMS.items()))
+        Path(out).write_text(json.dumps(payload, indent=2) + "\n")
 
 
 @pytest.fixture(scope="session")
