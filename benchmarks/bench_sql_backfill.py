@@ -1,0 +1,225 @@
+"""SQL-native windowed backfill vs the in-process loop (PR 9).
+
+The paper's T+1 aggregate backfill runs as windowed SQL over day-partitioned
+MaxCompute tables.  This bench drives the repo's reproduction of that path —
+:class:`~repro.features.sql_backfill.SQLBackfillEngine` staging the history
+into a day-keyed :class:`~repro.maxcompute.partitioned.PartitionedTable` and
+evaluating ``... OVER (PARTITION BY account ORDER BY event_time RANGE
+BETWEEN <W> PRECEDING AND CURRENT ROW)`` queries — and answers three
+questions:
+
+* **Correctness** — the SQL backfill must be *bit-identical* to the Python
+  loop on an event-time-ordered history (same fold, addition for addition),
+  and the pruned run must equal the unpruned run exactly.  Both are asserted
+  on every run, smoke and full.
+* **Partition skipping** — a 14-day window over a longer history must let
+  the zone maps skip at least half the day partitions (the acceptance bar:
+  >= 2x fewer partitions scanned than a full scan).  Asserted always.
+* **Throughput** — the headline metric is staged rows aggregated per second
+  by the pruned SQL backfill (staging + three generated queries + assembly).
+  The pruned/unpruned comparison reports the honest wall-clock win of zone
+  maps on the same engine.
+
+Run ``python -m benchmarks.bench_sql_backfill --smoke`` (the CI job) or
+without flags for the full run.  Results are persisted to the repo-root
+``BENCH_sql_backfill.json`` and validated/regression-gated by
+``scripts/check_bench.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.datagen import generate_world
+from repro.datagen.datasets import small_world_config
+from repro.features.aggregation import AggregationConfig, TransactionAggregator
+from repro.features.sql_backfill import SQLBackfillEngine
+from repro.features.streaming import event_order
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_sql_backfill.json"
+
+SEED = 9
+WINDOW_DAYS = 14
+
+#: Acceptance bar: a 14-day window over the longer history must scan at
+#: least 2x fewer partitions than a full scan.
+PARTITION_REDUCTION_FLOOR = 2.0
+
+#: Perf floor on the headline metric, active only with real cores behind it
+#: (matching the other benches' honest ``perf_asserts_active`` convention).
+PERF_MIN_CPUS = 2
+SMOKE_ROWS_PER_SECOND_FLOOR = 2_000.0
+FULL_ROWS_PER_SECOND_FLOOR = 2_000.0
+
+
+def cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _run_sql(history, config, as_of_time, *, prune: bool) -> Dict[str, object]:
+    """One timed SQL backfill (staging included); returns stats + aggregates."""
+    engine = SQLBackfillEngine(config, prune_partitions=prune)
+    started = time.perf_counter()
+    aggregates = engine.backfill(history, as_of_time=as_of_time)
+    seconds = time.perf_counter() - started
+    stats = engine.last_stats
+    return {
+        "aggregates": aggregates,
+        "seconds": seconds,
+        "rows_staged": stats.rows_staged,
+        "rows_scanned": stats.rows_scanned,
+        "rows_matched": stats.rows_matched,
+        "partitions_total": stats.partitions_total,
+        "partitions_scanned": stats.partitions_scanned,
+        "partitions_skipped": stats.partitions_skipped,
+        "rows_per_second": stats.rows_staged / seconds,
+    }
+
+
+def _public(run: Dict[str, object]) -> Dict[str, object]:
+    """The JSON-safe slice of a ``_run_sql`` result."""
+    return {key: value for key, value in run.items() if key != "aggregates"}
+
+
+def _assert_identical(left: Dict, right: Dict, label: str) -> None:
+    assert sorted(left) == sorted(right), f"{label}: account sets differ"
+    for account in left:
+        assert vars(left[account]) == vars(right[account]), (
+            f"{label}: aggregate state differs for {account!r}"
+        )
+
+
+def run_bench(*, smoke: bool) -> Dict[str, object]:
+    cpus = cpu_count()
+    perf_asserts_active = cpus >= PERF_MIN_CPUS
+    if smoke:
+        params = {"num_users": 150, "num_days": 32}
+    else:
+        params = {"num_users": 600, "num_days": 42}
+
+    print(f"generating {params['num_users']}-user, {params['num_days']}-day world ...")
+    world = generate_world(
+        small_world_config(
+            num_users=params["num_users"], num_days=params["num_days"], seed=SEED
+        )
+    )
+    # Event-time order makes the SQL fold literally the loop's fold, so the
+    # parity assert below can demand bitwise equality on float sums.
+    history = sorted(world.transactions, key=event_order)
+    as_of_day = params["num_days"]
+    as_of_time = float(as_of_day * 86_400 - 1)
+    config = AggregationConfig(window_days=WINDOW_DAYS)
+    print(f"  {len(history):,} transactions; window {WINDOW_DAYS} days, "
+          f"as_of day {as_of_day}")
+
+    # -- the loop baseline ---------------------------------------------------
+    started = time.perf_counter()
+    loop = TransactionAggregator(config).fit(history, as_of_time=as_of_time)
+    loop_seconds = time.perf_counter() - started
+
+    # -- SQL backfill, pruned and unpruned ----------------------------------
+    print("running pruned SQL backfill ...")
+    pruned = _run_sql(history, config, as_of_time, prune=True)
+    print("running unpruned SQL backfill ...")
+    unpruned = _run_sql(history, config, as_of_time, prune=False)
+
+    # -- correctness asserts (always on) ------------------------------------
+    _assert_identical(pruned["aggregates"], unpruned["aggregates"], "pruned vs unpruned")
+    sql = TransactionAggregator(config).fit(history, as_of_time=as_of_time, engine="sql")
+    assert loop.account_ids() == sql.account_ids()
+    mismatches = [
+        account
+        for account in loop.account_ids()
+        if loop.hbase_row(account) != sql.hbase_row(account)
+    ]
+    assert mismatches == [], (
+        f"SQL backfill diverges bitwise from the loop for {len(mismatches)} accounts"
+    )
+
+    partition_reduction = (
+        pruned["partitions_total"] / pruned["partitions_scanned"]
+    )
+    assert unpruned["partitions_skipped"] == 0
+    assert pruned["partitions_skipped"] > 0
+    assert partition_reduction >= PARTITION_REDUCTION_FLOOR, (
+        f"zone maps scanned 1/{partition_reduction:.2f} of the partitions; "
+        f"the acceptance bar is >= {PARTITION_REDUCTION_FLOOR}x fewer"
+    )
+
+    # -- perf asserts (CPU-gated) -------------------------------------------
+    floor = SMOKE_ROWS_PER_SECOND_FLOOR if smoke else FULL_ROWS_PER_SECOND_FLOOR
+    if perf_asserts_active:
+        assert pruned["rows_per_second"] >= floor, (
+            f"pruned backfill ran at {pruned['rows_per_second']:,.0f} staged "
+            f"rows/s, below the {floor:,.0f} floor"
+        )
+
+    results: Dict[str, object] = {
+        "benchmark": "sql_backfill",
+        "mode": "smoke" if smoke else "full",
+        "platform": platform.platform(),
+        "cpu_count": cpus,
+        "perf_asserts_active": perf_asserts_active,
+        "params": {
+            **params,
+            "window_days": WINDOW_DAYS,
+            "seed": SEED,
+            "transactions": len(history),
+            "accounts_with_activity": len(loop.account_ids()),
+        },
+        "backfill": {
+            "loop_seconds": loop_seconds,
+            "loop_rows_per_second": len(history) / loop_seconds,
+            "pruned": _public(pruned),
+            "unpruned": _public(unpruned),
+            "partition_reduction": partition_reduction,
+            "partition_reduction_floor": PARTITION_REDUCTION_FLOOR,
+            "scan_reduction": unpruned["rows_scanned"] / pruned["rows_scanned"],
+            "speedup_vs_unpruned": unpruned["seconds"] / pruned["seconds"],
+        },
+        "parity": {
+            "accounts": len(loop.account_ids()),
+            "bitwise_mismatches": len(mismatches),
+        },
+    }
+
+    print(f"\nsql backfill — {results['mode']} mode")
+    print(f"  loop baseline     : {len(history) / loop_seconds:10,.0f} rows/s")
+    print(f"  sql (pruned)      : {pruned['rows_per_second']:10,.0f} staged rows/s")
+    print(f"  sql (unpruned)    : {unpruned['rows_per_second']:10,.0f} staged rows/s")
+    print(f"  partitions        : {pruned['partitions_scanned']}/"
+          f"{pruned['partitions_total']} scanned "
+          f"({partition_reduction:.2f}x reduction, "
+          f"{pruned['partitions_skipped']} skipped)")
+    print(f"  rows scanned      : {pruned['rows_scanned']:,} pruned vs "
+          f"{unpruned['rows_scanned']:,} unpruned "
+          f"({results['backfill']['scan_reduction']:.2f}x fewer)")
+    print(f"  bitwise parity    : {len(loop.account_ids())} accounts, "
+          f"{len(mismatches)} mismatches")
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--output", type=Path, default=BENCH_PATH, help="where to write the JSON artifact"
+    )
+    args = parser.parse_args(argv)
+    results = run_bench(smoke=args.smoke)
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nresults written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -77,9 +77,15 @@ def _sustained_load_throughput(results: Dict) -> float:
     return float(results["serving"]["sustained_rps"])
 
 
+def _sql_backfill_throughput(results: Dict) -> float:
+    """Headline metric: staged rows/s through the pruned SQL backfill."""
+    return float(results["backfill"]["pruned"]["rows_per_second"])
+
+
 #: benchmark name -> (headline throughput extractor, metric label).
 THROUGHPUT_METRICS: Dict[str, tuple] = {
     "parallel_ps": (_parallel_ps_throughput, "ps_round process rows/s"),
+    "sql_backfill": (_sql_backfill_throughput, "pruned backfill staged rows/s"),
     "sustained_load": (_sustained_load_throughput, "serving sustained rps"),
 }
 

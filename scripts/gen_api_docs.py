@@ -88,6 +88,27 @@ PUBLIC_API = [
         "Event-time sliding-window aggregates with exact batch parity.",
     ),
     (
+        "SQL backfill engine",
+        "repro.features.sql_backfill",
+        ["SQLBackfillEngine", "BackfillStats"],
+        "The T+1 aggregate backfill as generated windowed SQL over a "
+        "day-partitioned staging table, bit-identical to the Python loop.",
+    ),
+    (
+        "MaxCompute SQL engine",
+        "repro.maxcompute.sql",
+        ["parse_sql", "SQLExecutor", "QueryStats", "WindowAggregate", "WindowFrame"],
+        "The mini SQL dialect: parser, aggregate window functions over RANGE "
+        "frames, and per-query scan/pruning statistics.",
+    ),
+    (
+        "Partitioned tables",
+        "repro.maxcompute.partitioned",
+        ["PartitionedTable", "ZoneMap", "ColumnZone", "condition_may_match"],
+        "Key-partitioned columnar tables with per-partition zone maps; the "
+        "executor consults them to skip provably non-matching partitions.",
+    ),
+    (
         "Model Server",
         "repro.serving.model_server",
         [

@@ -283,6 +283,8 @@ class TransactionAggregator:
         self._aggregates: Dict[str, _UserAggregate] = {}
         self._fitted = False
         self._as_of_time: Optional[float] = None
+        #: Scan accounting of the last ``fit(engine="sql")`` (None for the loop).
+        self.last_backfill_stats = None
 
     # ------------------------------------------------------------------
     @property
@@ -304,6 +306,7 @@ class TransactionAggregator:
         *,
         as_of_day: Optional[int] = None,
         as_of_time: Optional[float] = None,
+        engine: str = "loop",
     ) -> "TransactionAggregator":
         """Aggregate the window ending at ``as_of_day`` (exclusive) or
         ``as_of_time`` (inclusive, seconds).
@@ -313,6 +316,13 @@ class TransactionAggregator:
         day-based form ``as_of_day=d`` is shorthand for
         ``as_of_time = d * SECONDS_PER_DAY - 1`` and reproduces the historical
         ``start_day <= txn.day < as_of_day`` behaviour exactly.
+
+        ``engine="loop"`` is the in-process per-transaction fold;
+        ``engine="sql"`` pushes the same computation through the MaxCompute
+        substrate as windowed SQL over a day-partitioned staging table
+        (:class:`~repro.features.sql_backfill.SQLBackfillEngine`), leaving
+        its scan accounting in :attr:`last_backfill_stats`.  Both engines
+        produce the same aggregate state.
         """
         if as_of_day is not None and as_of_time is not None:
             raise FeatureError("pass as_of_day or as_of_time, not both")
@@ -320,8 +330,22 @@ class TransactionAggregator:
             if as_of_day is None:
                 as_of_day = max((t.day for t in history), default=0) + 1
             as_of_time = as_of_day * SECONDS_PER_DAY - 1
+        if engine == "sql":
+            # Imported here: the SQL engine lives on the MaxCompute side and
+            # itself imports this module's aggregate state.
+            from repro.features.sql_backfill import SQLBackfillEngine
+
+            sql_engine = SQLBackfillEngine(self.config)
+            self._aggregates = sql_engine.backfill(history, as_of_time=as_of_time)
+            self.last_backfill_stats = sql_engine.last_stats
+            self._fitted = True
+            self._as_of_time = float(as_of_time)
+            return self
+        if engine != "loop":
+            raise FeatureError(f"unknown backfill engine {engine!r}")
         window_start = as_of_time - self.config.effective_window_seconds
         self._aggregates = {}
+        self.last_backfill_stats = None
         for txn in history:
             event_time = transaction_event_time(txn)
             if not window_start < event_time <= as_of_time:

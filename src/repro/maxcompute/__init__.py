@@ -23,6 +23,12 @@ This package reproduces that execution model in process:
 
 from repro.maxcompute.table import Column, ColumnType, Schema, Table
 from repro.maxcompute.storage import PanguStorage
+from repro.maxcompute.partitioned import (
+    ColumnZone,
+    PartitionedTable,
+    ZoneMap,
+    condition_may_match,
+)
 from repro.maxcompute.catalog import TableCatalog
 from repro.maxcompute.ots import OpenTableService, InstanceStatus, InstanceRecord
 from repro.maxcompute.scheduler import FuxiScheduler, JobInstance, SubTask
@@ -35,6 +41,10 @@ __all__ = [
     "Schema",
     "Table",
     "PanguStorage",
+    "ColumnZone",
+    "PartitionedTable",
+    "ZoneMap",
+    "condition_may_match",
     "TableCatalog",
     "OpenTableService",
     "InstanceStatus",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional
 
 from repro.exceptions import TableAlreadyExistsError, TableNotFoundError
+from repro.maxcompute.partitioned import PartitionedTable
 from repro.maxcompute.storage import PanguStorage
 from repro.maxcompute.table import Schema, Table
 
@@ -29,6 +30,29 @@ class TableCatalog:
                 return self.storage.get(name)
             raise TableAlreadyExistsError(f"table {name!r} already exists")
         table = Table(name, schema, comment=comment)
+        self.storage.put(table)
+        return table
+
+    def create_partitioned_table(
+        self,
+        name: str,
+        schema: Schema,
+        *,
+        partition_key: str,
+        if_not_exists: bool = False,
+        comment: str = "",
+    ) -> PartitionedTable:
+        """Create a :class:`PartitionedTable` routed by ``partition_key`` values."""
+        if name in self.storage:
+            if if_not_exists:
+                existing = self.storage.get(name)
+                if not isinstance(existing, PartitionedTable):
+                    raise TableAlreadyExistsError(
+                        f"table {name!r} exists but is not partitioned"
+                    )
+                return existing
+            raise TableAlreadyExistsError(f"table {name!r} already exists")
+        table = PartitionedTable(name, schema, partition_key=partition_key, comment=comment)
         self.storage.put(table)
         return table
 

@@ -19,7 +19,8 @@ from repro.maxcompute.catalog import TableCatalog
 from repro.maxcompute.mapreduce import MapReduceJob, MapReduceStats, run_mapreduce
 from repro.maxcompute.ots import InstanceStatus
 from repro.maxcompute.scheduler import FuxiScheduler
-from repro.maxcompute.sql.executor import SQLExecutor
+from repro.maxcompute.partitioned import PartitionedTable
+from repro.maxcompute.sql.executor import QueryStats, SQLExecutor
 from repro.maxcompute.table import Schema, Table, table_from_records
 
 logger = get_logger("maxcompute.client")
@@ -33,6 +34,7 @@ class JobResult:
     status: InstanceStatus
     result_table: Optional[Table] = None
     stats: Optional[MapReduceStats] = None
+    query_stats: Optional[QueryStats] = None
 
     @property
     def succeeded(self) -> bool:
@@ -66,6 +68,21 @@ class MaxComputeClient:
             schema = Schema.from_dict(schema)
         return self.catalog.create_table(name, schema, if_not_exists=if_not_exists)
 
+    def create_partitioned_table(
+        self,
+        name: str,
+        schema: Dict[str, str] | Schema,
+        *,
+        partition_key: str,
+        if_not_exists: bool = True,
+    ) -> PartitionedTable:
+        """Create a value-partitioned table with per-partition zone maps."""
+        if isinstance(schema, dict):
+            schema = Schema.from_dict(schema)
+        return self.catalog.create_partitioned_table(
+            name, schema, partition_key=partition_key, if_not_exists=if_not_exists
+        )
+
     def load_records(self, name: str, records: Iterable[Dict[str, Any]]) -> int:
         """Bulk-load dictionaries into ``name`` (table must exist or is inferred)."""
         records = list(records)
@@ -85,23 +102,36 @@ class MaxComputeClient:
     # ------------------------------------------------------------------
     # Job submission
     # ------------------------------------------------------------------
-    def submit_sql(self, sql: str, *, result_table: Optional[str] = None) -> JobResult:
+    def submit_sql(
+        self,
+        sql: str,
+        *,
+        result_table: Optional[str] = None,
+        prune_partitions: bool = True,
+    ) -> JobResult:
         """Submit a SQL job and wait for it (the simulation is synchronous)."""
 
         def _run() -> Table:
             name = result_table or "query_result"
-            return self._sql.execute(sql, result_name=name)
+            return self._sql.execute(sql, result_name=name, prune_partitions=prune_partitions)
 
         instance = self.scheduler.submit("sql_query", "sql", [_run])
         self.scheduler.run_instance(instance.instance_id)
         record = self.scheduler.ots.get(instance.instance_id)
         result: Optional[Table] = None
+        query_stats: Optional[QueryStats] = None
         if record.status is InstanceStatus.TERMINATED:
             result = instance.results()[0]
+            query_stats = self._sql.last_stats
             if result_table is not None and result is not None:
                 self.catalog.register(result)
         logger.debug("sql instance %s finished with %s", instance.instance_id, record.status)
-        return JobResult(instance_id=instance.instance_id, status=record.status, result_table=result)
+        return JobResult(
+            instance_id=instance.instance_id,
+            status=record.status,
+            result_table=result,
+            query_stats=query_stats,
+        )
 
     def submit_mapreduce(
         self,

@@ -76,7 +76,7 @@ def run_mapreduce(
     """Execute ``job`` over ``table`` and return (result table, statistics)."""
     job.validate()
     stats = MapReduceStats(input_rows=table.num_rows)
-    splits = table.partition_column("", job.num_splits) if table.num_rows else []
+    splits = table.partition_rows(job.num_splits) if table.num_rows else []
     stats.num_splits = len(splits)
 
     # Map phase (per split) + shuffle.

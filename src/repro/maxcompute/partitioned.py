@@ -1,0 +1,272 @@
+"""Value-partitioned tables with per-partition zone maps.
+
+The paper's backfill scans a transactions table partitioned by day; MaxCompute
+prunes partitions whose metadata proves no row can match the query predicate
+(the "Provenance-based Data Skipping" shape from PAPERS.md).  This module
+reproduces that storage layer: :class:`PartitionedTable` routes every appended
+row into a partition keyed by one column's value and maintains a
+:class:`ZoneMap` (per-column min / max / null count) per partition.  The SQL
+executor consults :func:`condition_may_match` to skip partitions and reports
+the decision in its query stats.
+
+Pruning is *conservative*: a partition is skipped only when the zone map
+proves no row in it can satisfy the WHERE condition under the executor's
+collapsed three-valued logic (comparisons against NULL are False, so NULL
+rows *do* satisfy ``NOT (col = v)``).  Unknown shapes and mixed-type
+comparisons fall back to "may match" — correctness never depends on pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import SchemaError
+from repro.maxcompute.table import Schema, Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: sql.executor needs this module
+    from repro.maxcompute.sql.parser import Condition
+
+
+@dataclass
+class ColumnZone:
+    """Min / max / null statistics for one column within one partition."""
+
+    min_value: Any = None
+    max_value: Any = None
+    null_count: int = 0
+    value_count: int = 0
+    bounds_valid: bool = True
+
+    def observe(self, value: Any) -> None:
+        """Fold one stored (already coerced) value into the statistics."""
+        if value is None:
+            self.null_count += 1
+            return
+        if self.value_count == 0:
+            self.min_value = value
+            self.max_value = value
+        elif self.bounds_valid:
+            try:
+                if value < self.min_value:
+                    self.min_value = value
+                elif value > self.max_value:
+                    self.max_value = value
+            except TypeError:
+                # Mixed un-orderable values (should not happen post-coercion);
+                # widen to "unknown" so pruning stays conservative.
+                self.min_value = None
+                self.max_value = None
+                self.bounds_valid = False
+        self.value_count += 1
+
+    @property
+    def bounds(self) -> Optional[Tuple[Any, Any]]:
+        """``(min, max)`` over non-NULL values, or ``None`` when there are none."""
+        if self.value_count == 0 or not self.bounds_valid:
+            return None
+        return (self.min_value, self.max_value)
+
+
+@dataclass
+class ZoneMap:
+    """Per-column :class:`ColumnZone` statistics for one partition."""
+
+    columns: Dict[str, ColumnZone] = field(default_factory=dict)
+    row_count: int = 0
+
+    def observe_row(self, row: Dict[str, Any]) -> None:
+        """Fold one stored row into every column's statistics."""
+        for name, value in row.items():
+            self.columns.setdefault(name, ColumnZone()).observe(value)
+        self.row_count += 1
+
+    def zone(self, column: str) -> Optional[ColumnZone]:
+        """The named column's statistics, or ``None`` if never observed."""
+        return self.columns.get(column)
+
+
+def _comparison_may_hold(zone: ColumnZone, operator: str, value: Any) -> bool:
+    """Can any non-NULL value in ``zone``'s range satisfy ``x <op> value``?"""
+    if zone.value_count == 0:
+        return False  # no non-NULL values at all (NULL cmp anything is False)
+    bounds = zone.bounds
+    if bounds is None:
+        return True  # values exist but their range is unknown: never prune
+    low, high = bounds
+    try:
+        if operator == "=":
+            return low <= value <= high
+        if operator == "!=":
+            return not (low == high == value)
+        if operator == "<":
+            return low < value
+        if operator == "<=":
+            return low <= value
+        if operator == ">":
+            return high > value
+        if operator == ">=":
+            return high >= value
+    except TypeError:
+        return True  # mixed types: let the executor surface the real error
+    return True  # unknown operator: never prune on it
+
+
+def _comparison_negation_may_hold(zone: ColumnZone, operator: str, value: Any) -> bool:
+    """Can any value in ``zone`` *fail* ``x <op> value`` (NULLs always fail)?"""
+    if zone.null_count > 0:
+        return True  # NULL cmp anything is False, so NOT(cmp) holds
+    if zone.value_count == 0:
+        return False  # no rows with this column at all
+    bounds = zone.bounds
+    if bounds is None:
+        return True  # values exist but their range is unknown: never prune
+    low, high = bounds
+    try:
+        if operator == "=":
+            return not (low == high == value)
+        if operator == "!=":
+            return low <= value <= high
+        if operator == "<":
+            return high >= value
+        if operator == "<=":
+            return high > value
+        if operator == ">":
+            return low <= value
+        if operator == ">=":
+            return low < value
+    except TypeError:
+        return True
+    return True
+
+
+def _may_match(condition: "Condition", zone_map: ZoneMap, negated: bool) -> bool:
+    """Polarity-aware recursion: may any row (fail to) satisfy ``condition``?"""
+    # Imported lazily: the sql package's executor imports this module, so a
+    # module-level parser import would close a cycle through sql/__init__.
+    from repro.maxcompute.sql.parser import BooleanOp, Comparison, InList, Not
+
+    if isinstance(condition, Comparison):
+        zone = zone_map.zone(condition.column)
+        if zone is None:
+            return True  # unseen column: never prune (executor validates it)
+        if condition.value is None:
+            # cmp against NULL is always False under the collapsed logic.
+            return negated
+        if negated:
+            return _comparison_negation_may_hold(zone, condition.operator, condition.value)
+        return _comparison_may_hold(zone, condition.operator, condition.value)
+    if isinstance(condition, InList):
+        zone = zone_map.zone(condition.column)
+        if zone is None:
+            return True
+        if negated:
+            # A NULL is not in the list; a range wider than one point may
+            # contain an excluded value.  Only a constant column whose single
+            # value is listed provably has no failing row.
+            if zone.null_count > 0:
+                return True
+            if zone.value_count == 0:
+                return False
+            bounds = zone.bounds
+            if bounds is None:
+                return True
+            low, high = bounds
+            if low == high:
+                return low not in condition.values
+            return True
+        return any(
+            _comparison_may_hold(zone, "=", value)
+            for value in condition.values
+            if value is not None
+        )
+    if isinstance(condition, Not):
+        return _may_match(condition.operand, zone_map, not negated)
+    if isinstance(condition, BooleanOp):
+        operands = condition.operands
+        # De Morgan under negation: NOT(a AND b) == NOT a OR NOT b.
+        is_and = (condition.operator == "and") != negated
+        if is_and:
+            return all(_may_match(op, zone_map, negated) for op in operands)
+        return any(_may_match(op, zone_map, negated) for op in operands)
+    return True  # unknown node: never prune
+
+
+def condition_may_match(condition: "Condition", zone_map: ZoneMap) -> bool:
+    """True unless ``zone_map`` proves no row can satisfy ``condition``.
+
+    Mirrors the executor's collapsed three-valued logic: a comparison whose
+    operand is NULL evaluates to False, hence NULL rows satisfy ``NOT (cmp)``.
+    Returns True (scan the partition) in every uncertain case.
+    """
+    if zone_map.row_count == 0:
+        return False
+    return _may_match(condition, zone_map, negated=False)
+
+
+class PartitionedTable(Table):
+    """A :class:`Table` whose rows are routed into partitions by a key column.
+
+    Storage stays columnar in the base table (so every :class:`Table` API —
+    ``rows``, ``column``, ``select_rows`` — keeps working); the partition
+    layer adds per-key row-index lists plus a :class:`ZoneMap` per partition.
+    Iteration order over partitions is sorted by key for determinism, with
+    insertion order preserved within a partition.
+    """
+
+    def __init__(self, name: str, schema: Schema, *, partition_key: str, comment: str = ""):
+        if partition_key not in schema:
+            raise SchemaError(
+                f"partition key {partition_key!r} is not a column of table {name!r}"
+            )
+        super().__init__(name, schema, comment=comment)
+        self.partition_key = partition_key
+        self._partition_indices: Dict[Any, List[int]] = {}
+        self._zone_maps: Dict[Any, ZoneMap] = {}
+
+    # ------------------------------------------------------------------
+    def append(self, row: Dict[str, Any]) -> None:
+        """Append one row, routing it into its partition and zone map."""
+        super().append(row)
+        index = self._num_rows - 1
+        stored = {name: values[index] for name, values in self._columns.items()}
+        key = stored[self.partition_key]
+        if key is None:
+            raise SchemaError(
+                f"partition key {self.partition_key!r} must be non-NULL in table {self.name!r}"
+            )
+        self._partition_indices.setdefault(key, []).append(index)
+        self._zone_maps.setdefault(key, ZoneMap()).observe_row(stored)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_partitions(self) -> int:
+        """Number of distinct partition-key values seen so far."""
+        return len(self._partition_indices)
+
+    def partition_keys(self) -> List[Any]:
+        """All partition-key values, sorted for deterministic iteration."""
+        return sorted(self._partition_indices)
+
+    def partition_indices(self, key: Any) -> List[int]:
+        """Row indices of one partition in insertion order."""
+        if key not in self._partition_indices:
+            raise SchemaError(f"unknown partition {key!r} in table {self.name!r}")
+        return list(self._partition_indices[key])
+
+    def zone_map(self, key: Any) -> ZoneMap:
+        """The zone map of one partition."""
+        if key not in self._zone_maps:
+            raise SchemaError(f"unknown partition {key!r} in table {self.name!r}")
+        return self._zone_maps[key]
+
+    def iter_partitions(self) -> Iterator[Tuple[Any, List[int], ZoneMap]]:
+        """Yield ``(key, row_indices, zone_map)`` in sorted key order."""
+        for key in self.partition_keys():
+            yield key, self._partition_indices[key], self._zone_maps[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PartitionedTable(name={self.name!r}, rows={self._num_rows}, "
+            f"partitions={self.num_partitions}, key={self.partition_key!r})"
+        )

@@ -7,7 +7,19 @@ small AST (:mod:`repro.maxcompute.sql.parser`), planned and executed against
 the columnar tables (:mod:`repro.maxcompute.sql.executor`).
 """
 
-from repro.maxcompute.sql.parser import parse_sql, SelectStatement
-from repro.maxcompute.sql.executor import SQLExecutor
+from repro.maxcompute.sql.parser import (
+    parse_sql,
+    SelectStatement,
+    WindowAggregate,
+    WindowFrame,
+)
+from repro.maxcompute.sql.executor import QueryStats, SQLExecutor
 
-__all__ = ["parse_sql", "SelectStatement", "SQLExecutor"]
+__all__ = [
+    "parse_sql",
+    "SelectStatement",
+    "WindowAggregate",
+    "WindowFrame",
+    "QueryStats",
+    "SQLExecutor",
+]

@@ -6,10 +6,13 @@ Grammar (case-insensitive keywords)::
                    [WHERE condition]
                    [GROUP BY identifier ("," identifier)*]
                    [ORDER BY identifier [ASC|DESC]]
-                   [LIMIT integer]
+                   [LIMIT non_negative_integer]
     select_list := "*" | select_item ("," select_item)*
-    select_item := (aggregate | identifier) [AS identifier]
-    aggregate   := (COUNT|SUM|AVG|MIN|MAX) "(" ("*" | identifier) ")"
+    select_item := (window_agg | aggregate | identifier) [AS identifier]
+    aggregate   := (COUNT|SUM|AVG|MIN|MAX) "(" ("*" | [DISTINCT] identifier) ")"
+    window_agg  := aggregate OVER "(" PARTITION BY identifier
+                   ORDER BY identifier [ASC]
+                   RANGE BETWEEN number PRECEDING AND CURRENT ROW ")"
     condition   := or_expr
     or_expr     := and_expr (OR and_expr)*
     and_expr    := unary (AND unary)*
@@ -51,6 +54,14 @@ _KEYWORDS = {
     "avg",
     "min",
     "max",
+    "distinct",
+    "over",
+    "partition",
+    "range",
+    "between",
+    "preceding",
+    "current",
+    "row",
 }
 
 _TOKEN_PATTERN = re.compile(
@@ -117,13 +128,55 @@ class Aggregate:
     function: str  # count | sum | avg | min | max
     column: Optional[str]  # None for COUNT(*)
     alias: Optional[str] = None
+    distinct: bool = False  # COUNT(DISTINCT col) only
 
     @property
     def output_name(self) -> str:
         if self.alias:
             return self.alias
         target = self.column or "*"
+        if self.distinct:
+            target = f"distinct {target}"
         return f"{self.function}({target})"
+
+
+@dataclass
+class WindowFrame:
+    """``RANGE BETWEEN <preceding> PRECEDING AND CURRENT ROW`` frame bounds.
+
+    The executor interprets the frame as *left-open / right-closed* over the
+    ordering column's values — ``(current - preceding, current]`` — matching
+    ``AggregationWindowSpec`` rather than the SQL-standard closed interval.
+    """
+
+    preceding: float  # window width in ordering-column units
+
+
+@dataclass
+class WindowAggregate:
+    """An aggregate with an ``OVER (PARTITION BY ... ORDER BY ... RANGE ...)`` clause.
+
+    Evaluated per input row over the sliding event-time frame within the
+    row's partition; unlike :class:`Aggregate` it does not collapse rows.
+    """
+
+    function: str  # count | sum | avg | min | max
+    column: Optional[str]  # None for COUNT(*)
+    partition_by: str
+    order_by: str
+    frame: WindowFrame
+    alias: Optional[str] = None
+    distinct: bool = False  # COUNT(DISTINCT col) only
+
+    @property
+    def output_name(self) -> str:
+        """Result-column name: the alias, or a rendering of the call."""
+        if self.alias:
+            return self.alias
+        target = self.column or "*"
+        if self.distinct:
+            target = f"distinct {target}"
+        return f"{self.function}({target}) over ({self.partition_by})"
 
 
 @dataclass
@@ -151,7 +204,7 @@ class BooleanOp:
 
 
 Condition = Union[Comparison, InList, Not, BooleanOp]
-SelectItem = Union[ColumnRef, Aggregate]
+SelectItem = Union[ColumnRef, Aggregate, WindowAggregate]
 
 
 @dataclass
@@ -167,7 +220,13 @@ class SelectStatement:
 
     @property
     def has_aggregates(self) -> bool:
+        """True when any select item is a plain (row-collapsing) aggregate."""
         return any(isinstance(item, Aggregate) for item in self.items)
+
+    @property
+    def has_window_functions(self) -> bool:
+        """True when any select item is a windowed (per-row) aggregate."""
+        return any(isinstance(item, WindowAggregate) for item in self.items)
 
 
 # ---------------------------------------------------------------------------
@@ -248,7 +307,10 @@ class _Parser:
             token = self._advance()
             if token.kind != "number":
                 raise SQLParseError(f"LIMIT expects a number, found {token.value!r}")
-            statement.limit = int(float(token.value))
+            limit = int(float(token.value))
+            if limit < 0:
+                raise SQLParseError(f"LIMIT must be non-negative, got {limit}")
+            statement.limit = limit
         if self._peek() is not None:
             raise SQLParseError(f"unexpected trailing token {self._peek().value!r}")
         return statement
@@ -268,16 +330,61 @@ class _Parser:
         if token.kind == "keyword" and token.value in ("count", "sum", "avg", "min", "max"):
             self._advance()
             self._expect_op("(")
+            distinct = self._match_keyword("distinct")
+            if distinct and token.value != "count":
+                raise SQLParseError(
+                    f"DISTINCT is only supported inside COUNT, not {token.value.upper()}"
+                )
             if self._match_op("*"):
+                if distinct:
+                    raise SQLParseError("COUNT(DISTINCT *) is not supported")
                 column: Optional[str] = None
             else:
                 column = self._expect_identifier()
             self._expect_op(")")
+            if self._match_keyword("over"):
+                partition_by, order_by, frame = self._parse_over_clause()
+                alias = self._expect_identifier() if self._match_keyword("as") else None
+                return WindowAggregate(
+                    function=token.value,
+                    column=column,
+                    partition_by=partition_by,
+                    order_by=order_by,
+                    frame=frame,
+                    alias=alias,
+                    distinct=distinct,
+                )
             alias = self._expect_identifier() if self._match_keyword("as") else None
-            return Aggregate(function=token.value, column=column, alias=alias)
+            return Aggregate(function=token.value, column=column, alias=alias, distinct=distinct)
         name = self._expect_identifier()
         alias = self._expect_identifier() if self._match_keyword("as") else None
         return ColumnRef(name=name, alias=alias)
+
+    def _parse_over_clause(self) -> tuple[str, str, WindowFrame]:
+        self._expect_op("(")
+        self._expect_keyword("partition")
+        self._expect_keyword("by")
+        partition_by = self._expect_identifier()
+        self._expect_keyword("order")
+        self._expect_keyword("by")
+        order_by = self._expect_identifier()
+        if self._match_keyword("desc"):
+            raise SQLParseError("window ORDER BY only supports ascending order")
+        self._match_keyword("asc")
+        self._expect_keyword("range")
+        self._expect_keyword("between")
+        token = self._advance()
+        if token.kind != "number":
+            raise SQLParseError(f"RANGE BETWEEN expects a number, found {token.value!r}")
+        preceding = float(token.value)
+        if preceding < 0:
+            raise SQLParseError(f"RANGE frame width must be non-negative, got {token.value}")
+        self._expect_keyword("preceding")
+        self._expect_keyword("and")
+        self._expect_keyword("current")
+        self._expect_keyword("row")
+        self._expect_op(")")
+        return partition_by, order_by, WindowFrame(preceding=preceding)
 
     # -- conditions -------------------------------------------------------
     def _parse_condition(self) -> Condition:

@@ -85,21 +85,45 @@ class Schema:
 
     @classmethod
     def infer(cls, rows: Sequence[Dict[str, Any]]) -> "Schema":
-        """Infer a schema from sample rows (bool before int: bool is an int subclass)."""
+        """Infer a schema by scanning *all* rows (bool before int: bool is an int subclass).
+
+        Mixed bigint/double columns widen to DOUBLE instead of truncating the
+        floats, NULLs defer to the first non-NULL value, and a column that is
+        NULL in every row raises :class:`SchemaError` — there is no value to
+        type it from, and silently picking STRING corrupts later appends.
+        """
         if not rows:
             raise SchemaError("cannot infer a schema from zero rows")
-        columns: List[Column] = []
-        first = rows[0]
-        for name, value in first.items():
-            if isinstance(value, bool):
-                column_type = ColumnType.BOOLEAN
-            elif isinstance(value, int):
-                column_type = ColumnType.BIGINT
-            elif isinstance(value, float):
-                column_type = ColumnType.DOUBLE
-            else:
-                column_type = ColumnType.STRING
-            columns.append(Column(name, column_type))
+        types: Dict[str, Optional[ColumnType]] = {name: None for name in rows[0]}
+        for row in rows:
+            if set(row) != set(types):
+                raise SchemaError(
+                    f"inconsistent row keys: expected {sorted(types)}, got {sorted(row)}"
+                )
+            for name, value in row.items():
+                if value is None:
+                    continue
+                if isinstance(value, bool):
+                    observed = ColumnType.BOOLEAN
+                elif isinstance(value, int):
+                    observed = ColumnType.BIGINT
+                elif isinstance(value, float):
+                    observed = ColumnType.DOUBLE
+                else:
+                    observed = ColumnType.STRING
+                current = types[name]
+                if current is None or current == observed:
+                    types[name] = observed
+                elif {current, observed} == {ColumnType.BIGINT, ColumnType.DOUBLE}:
+                    types[name] = ColumnType.DOUBLE
+                else:
+                    raise SchemaError(
+                        f"column {name!r} mixes {current.value} and {observed.value} values"
+                    )
+        null_only = sorted(name for name, type_ in types.items() if type_ is None)
+        if null_only:
+            raise SchemaError(f"columns {null_only} are NULL in every row; cannot infer a type")
+        columns = [Column(name, type_) for name, type_ in types.items() if type_ is not None]
         return cls(columns=columns)
 
 
@@ -167,8 +191,14 @@ class Table:
             result.append(self.row(index))
         return result
 
-    def partition_column(self, name: str, num_splits: int) -> List[List[int]]:
-        """Split row indices into ``num_splits`` contiguous chunks (for subtasks)."""
+    def partition_rows(self, num_splits: int) -> List[List[int]]:
+        """Split row indices into ``num_splits`` contiguous chunks (for subtasks).
+
+        Previously misnamed ``partition_column(name, num_splits)`` — the
+        ``name`` argument was ignored entirely, so the signature promised
+        value-based partitioning it never did.  Value-based partitioning
+        lives in :class:`repro.maxcompute.partitioned.PartitionedTable`.
+        """
         if num_splits <= 0:
             raise SchemaError("num_splits must be positive")
         indices = list(range(self._num_rows))
