@@ -1,0 +1,207 @@
+"""Per-typology fraud recall on the labelled typology suite (PR 10).
+
+A single pooled recall number can hide an entire fraud scenario: a detector
+trained mostly on smurfing-style volume can post high overall recall while
+missing every bust-out.  This bench generates a world whose campaign frauds
+are emitted by the five labelled typology models (mule/relay chains, account
+takeover, bust-out, merchant collusion, smurfing — see
+:class:`~repro.datagen.fraud.TypologyFraudSuite`), trains the paper's
+GBDT+S2V configuration on a T+1 slice, and reports recall *per typology* at
+the single deployed threshold via
+:func:`~repro.core.evaluation.typology_recall_report`.
+
+Always-on correctness asserts:
+
+* the labelled eval slice contains frauds from **all five** typologies (the
+  per-typology report is meaningless if a scenario never occurs), and
+* every reported recall is a valid fraction backed by a positive fraud count.
+
+The headline throughput metric is eval rows scored per second through the
+offline assembler + GBDT (the same plan-driven path the Model Server runs).
+
+Run ``python -m benchmarks.bench_typology_recall --smoke`` (the CI job) or
+without flags for the full run.  Results are persisted to the repo-root
+``BENCH_typology_recall.json`` and validated/regression-gated by
+``scripts/check_bench.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.core.config import (
+    DetectorName,
+    FeatureSetName,
+    ModelHyperparameters,
+    Table1Configuration,
+)
+from repro.core.evaluation import typology_recall_report
+from repro.core.pipeline import OfflineTrainingPipeline
+from repro.datagen import (
+    FRAUD_TYPOLOGIES,
+    DatasetBuilder,
+    TypologyConfig,
+    WorldConfig,
+    generate_world,
+)
+from repro.datagen.profiles import ProfileConfig
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+BENCH_PATH = REPO_ROOT / "BENCH_typology_recall.json"
+
+SEED = 23
+
+#: Perf floor on the headline metric, active only with real cores behind it
+#: (matching the other benches' honest ``perf_asserts_active`` convention).
+PERF_MIN_CPUS = 2
+ROWS_PER_SECOND_FLOOR = 500.0
+
+
+def cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def _typology_world(params: Dict[str, int]) -> "WorldConfig":
+    """World config whose campaign frauds come from the labelled suite.
+
+    ``active_day_probability`` is kept low so the one-shot bust-out campaigns
+    spread across the horizon instead of all firing right after their buildup
+    window — the eval slice needs live examples of every typology.
+    """
+    return WorldConfig(
+        profile=ProfileConfig(
+            num_users=params["num_users"],
+            num_communities=8,
+            fraudster_fraction=0.10,
+            seed=SEED,
+        ),
+        num_days=params["num_days"],
+        transactions_per_user_per_day=0.6,
+        typologies=TypologyConfig(active_day_probability=0.10),
+        seed=SEED,
+    )
+
+
+def run_bench(*, smoke: bool) -> Dict[str, object]:
+    cpus = cpu_count()
+    perf_asserts_active = cpus >= PERF_MIN_CPUS
+    if smoke:
+        params = {"num_users": 300, "num_days": 30, "network_days": 14, "train_days": 7}
+    else:
+        params = {"num_users": 700, "num_days": 36, "network_days": 16, "train_days": 8}
+
+    print(f"generating {params['num_users']}-user, {params['num_days']}-day "
+          "typology world ...")
+    world = generate_world(_typology_world(params))
+    builder = DatasetBuilder(
+        world,
+        network_days=params["network_days"],
+        train_days=params["train_days"],
+    )
+    test_day = builder.earliest_test_day()
+    dataset = builder.build(test_day)
+    # The labelled eval slice pools every day from the test day to the
+    # horizon: a single day is too small a sample for five typologies, and
+    # the one-shot bust-outs in particular land on different days per account.
+    eval_transactions = world.transactions_in_days(test_day, params["num_days"])
+    eval_frauds = sum(1 for t in eval_transactions if t.is_fraud)
+    print(f"  train day {test_day}; eval slice days [{test_day}, "
+          f"{params['num_days']}): {len(eval_transactions):,} transactions, "
+          f"{eval_frauds} frauds")
+
+    pipeline = OfflineTrainingPipeline(
+        world.profiles_by_id, ModelHyperparameters.laptop_scale(seed=SEED)
+    )
+    configuration = Table1Configuration(7, DetectorName.GBDT, FeatureSetName.BASIC_S2V)
+    print("training GBDT+S2V on the T+1 slice ...")
+    preparation = pipeline.prepare(
+        dataset,
+        need_deepwalk=False,
+        embedding_dimension=8 if smoke else 16,
+    )
+    bundle = pipeline.train(preparation, configuration)
+
+    # -- timed scoring path (assemble + score, the serving-plan flow) --------
+    assembler = pipeline.assembler_for(preparation, configuration.feature_set)
+    started = time.perf_counter()
+    matrix = assembler.assemble(eval_transactions)
+    scores = bundle.detector.predict_proba(matrix.values)
+    seconds = time.perf_counter() - started
+    rows_per_second = len(eval_transactions) / seconds
+
+    report = typology_recall_report(
+        eval_transactions, scores, threshold=bundle.threshold
+    )
+
+    # -- correctness asserts (always on) ------------------------------------
+    missing = sorted(set(FRAUD_TYPOLOGIES) - set(report))
+    assert not missing, (
+        f"eval slice has no frauds for typologies {missing}; "
+        "the per-typology report must cover all five"
+    )
+    for name, entry in report.items():
+        assert entry.num_frauds > 0, f"{name}: empty slice in the report"
+        assert 0.0 <= entry.recall <= 1.0, f"{name}: recall out of range"
+
+    # -- perf asserts (CPU-gated) -------------------------------------------
+    if perf_asserts_active:
+        assert rows_per_second >= ROWS_PER_SECOND_FLOOR, (
+            f"scored {rows_per_second:,.0f} eval rows/s, below the "
+            f"{ROWS_PER_SECOND_FLOOR:,.0f} floor"
+        )
+
+    results: Dict[str, object] = {
+        "benchmark": "typology_recall",
+        "mode": "smoke" if smoke else "full",
+        "platform": platform.platform(),
+        "cpu_count": cpus,
+        "perf_asserts_active": perf_asserts_active,
+        "params": {
+            **params,
+            "seed": SEED,
+            "detector": configuration.detector.value,
+            "feature_set": configuration.feature_set.value,
+            "threshold": bundle.threshold,
+            "eval_transactions": len(eval_transactions),
+            "eval_frauds": eval_frauds,
+        },
+        "scoring": {
+            "seconds": seconds,
+            "rows_per_second": rows_per_second,
+        },
+        "typology_recall": {
+            name: entry.as_dict() for name, entry in report.items()
+        },
+    }
+
+    print(f"\ntypology recall — {results['mode']} mode")
+    print(f"  scoring: {rows_per_second:10,.0f} eval rows/s")
+    for name, entry in report.items():
+        print(f"  {name:>18}: recall {entry.recall:6.2%} "
+              f"({entry.num_detected}/{entry.num_frauds})")
+    return results
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--output", type=Path, default=BENCH_PATH, help="where to write the JSON artifact"
+    )
+    args = parser.parse_args(argv)
+    results = run_bench(smoke=args.smoke)
+    args.output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"\nresults written to {args.output}")
+
+
+if __name__ == "__main__":
+    main()

@@ -82,11 +82,17 @@ def _sql_backfill_throughput(results: Dict) -> float:
     return float(results["backfill"]["pruned"]["rows_per_second"])
 
 
+def _typology_recall_throughput(results: Dict) -> float:
+    """Headline metric: eval rows scored per second (assemble + GBDT)."""
+    return float(results["scoring"]["rows_per_second"])
+
+
 #: benchmark name -> (headline throughput extractor, metric label).
 THROUGHPUT_METRICS: Dict[str, tuple] = {
     "parallel_ps": (_parallel_ps_throughput, "ps_round process rows/s"),
     "sql_backfill": (_sql_backfill_throughput, "pruned backfill staged rows/s"),
     "sustained_load": (_sustained_load_throughput, "serving sustained rps"),
+    "typology_recall": (_typology_recall_throughput, "eval rows scored/s"),
 }
 
 

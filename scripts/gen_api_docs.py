@@ -165,6 +165,37 @@ PUBLIC_API = [
         "aggregate rows to Ali-HBase.",
     ),
     (
+        "Dynamic embedding refresh",
+        "repro.serving.embedding_refresh",
+        [
+            "EmbeddingRefresher",
+            "EmbeddingRefreshQueue",
+            "EmbeddingRefreshConfig",
+            "RefreshReport",
+        ],
+        "Keeps served Structure2Vec vectors fresh as the graph grows: new "
+        "edges enqueue their endpoints, a refresh pass re-embeds the touched "
+        "k-hop neighbourhood and writes rows through the Ali-HBase "
+        "write-through path with per-column-family cache invalidation.",
+    ),
+    (
+        "Fraud typologies",
+        "repro.datagen.fraud",
+        ["TypologyConfig", "TypologyFraudSuite", "ColumnarTypologySuite"],
+        "Five labelled fraud scenarios — mule/relay chains, account "
+        "takeover, bust-out, merchant collusion, smurfing — as seeded "
+        "behaviour-model variants emitting typology-tagged transactions "
+        "through both stream generators.",
+    ),
+    (
+        "Per-slice evaluation",
+        "repro.core.evaluation",
+        ["SliceRecall", "recall_by_slice", "typology_recall_report"],
+        "Recall per labelled evaluation slice at one shared decision "
+        "threshold — a pooled recall can hide an entirely missed fraud "
+        "scenario.",
+    ),
+    (
         "Ali-HBase client",
         "repro.hbase.client",
         ["HBaseClient"],

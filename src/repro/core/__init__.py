@@ -17,12 +17,15 @@ This package ties every substrate together into the system of Figure 3:
 
 from repro.core.evaluation import (
     EvaluationMetrics,
+    SliceRecall,
     confusion_counts,
     f1_score,
     precision_recall,
     recall_at_top_percent,
+    recall_by_slice,
     select_threshold,
     evaluate_detector,
+    typology_recall_report,
 )
 from repro.core.config import (
     FeatureSetName,
@@ -38,12 +41,15 @@ from repro.core.registry import ModelRegistry, ModelVersion
 
 __all__ = [
     "EvaluationMetrics",
+    "SliceRecall",
     "confusion_counts",
     "f1_score",
     "precision_recall",
     "recall_at_top_percent",
+    "recall_by_slice",
     "select_threshold",
     "evaluate_detector",
+    "typology_recall_report",
     "FeatureSetName",
     "DetectorName",
     "ExperimentConfig",

@@ -217,3 +217,82 @@ def mean_metric(values: Sequence[float]) -> float:
     if not values:
         return 0.0
     return float(np.mean(values))
+
+
+@dataclass
+class SliceRecall:
+    """Recall of one labelled evaluation slice at a fixed threshold.
+
+    ``recall`` is the fraction of the slice's frauds the detector alerted on
+    at the shared threshold — per-slice recall against a global operating
+    point, not a per-slice re-calibration.
+    """
+
+    slice_name: str
+    num_frauds: int
+    num_detected: int
+
+    @property
+    def recall(self) -> float:
+        """Detected fraction of this slice's frauds (0.0 for an empty slice)."""
+        return self.num_detected / self.num_frauds if self.num_frauds else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat-dict form used by the typology benchmark artifact."""
+        return {
+            "num_frauds": float(self.num_frauds),
+            "num_detected": float(self.num_detected),
+            "recall": self.recall,
+        }
+
+
+def recall_by_slice(
+    labels: np.ndarray,
+    scores: np.ndarray,
+    slices: Sequence[str],
+    *,
+    threshold: float,
+) -> Dict[str, SliceRecall]:
+    """Per-slice recall at one shared decision threshold.
+
+    ``slices`` assigns each row a slice name (rows with an empty name are
+    ignored); only fraud rows contribute.  The same threshold is applied to
+    every slice — the question answered is "at the operating point we deploy,
+    which fraud scenarios do we catch?", which a single pooled recall hides
+    (a detector can post high overall recall while missing an entire
+    low-volume typology).
+    """
+    labels, scores = _validate(labels, scores)
+    if len(slices) != labels.shape[0]:
+        raise ModelError(
+            f"{len(slices)} slice names do not match {labels.shape[0]} rows"
+        )
+    detected = scores >= threshold
+    results: Dict[str, SliceRecall] = {}
+    for row, name in enumerate(slices):
+        if not name or labels[row] < 0.5:
+            continue
+        entry = results.setdefault(name, SliceRecall(name, 0, 0))
+        entry.num_frauds += 1
+        if detected[row]:
+            entry.num_detected += 1
+    return results
+
+
+def typology_recall_report(
+    transactions: Sequence,
+    scores: np.ndarray,
+    *,
+    threshold: float,
+) -> Dict[str, SliceRecall]:
+    """Per-fraud-typology recall for a scored transaction slice.
+
+    Slices come from each transaction's ``fraud_typology`` tag (set by the
+    labelled typology suite in :mod:`repro.datagen.fraud`); untagged rows —
+    normal transfers and background fraud — are excluded.  Returns a dict
+    keyed by typology name, sorted by name for stable reporting.
+    """
+    labels = np.array([1.0 if txn.is_fraud else 0.0 for txn in transactions])
+    slices = [txn.fraud_typology for txn in transactions]
+    results = recall_by_slice(labels, scores, slices, threshold=threshold)
+    return {name: results[name] for name in sorted(results)}

@@ -31,11 +31,15 @@ from repro.datagen.schema import (
 )
 from repro.datagen.profiles import ColumnarAccounts, ProfileConfig, ProfileGenerator
 from repro.datagen.fraud import (
+    FRAUD_TYPOLOGIES,
     ColumnarFraudPlanner,
+    ColumnarTypologySuite,
     FraudConfig,
     FraudsterBehaviorModel,
     FraudsterState,
     PlannedFraudBatch,
+    TypologyConfig,
+    TypologyFraudSuite,
 )
 from repro.datagen.transactions import (
     ArrivalConfig,
@@ -63,11 +67,15 @@ __all__ = [
     "ColumnarAccounts",
     "ProfileConfig",
     "ProfileGenerator",
+    "FRAUD_TYPOLOGIES",
     "ColumnarFraudPlanner",
+    "ColumnarTypologySuite",
     "FraudConfig",
     "FraudsterBehaviorModel",
     "FraudsterState",
     "PlannedFraudBatch",
+    "TypologyConfig",
+    "TypologyFraudSuite",
     "ArrivalConfig",
     "BurstSpec",
     "DIURNAL_HOURLY_WEIGHTS",

@@ -15,22 +15,59 @@ This module models each fraudster as a small campaign process:
   transfer city, device novelty, IP risk) — this is where the basic features
   obtain their predictive power,
 * victims file fraud reports after a random delay, producing delayed labels.
+
+Beyond the single gathering campaign, :class:`TypologyFraudSuite` partitions
+the fraudster population across five distinct, individually seeded fraud
+typologies (mule/relay chains, account takeover, bust-out, merchant collusion,
+smurfing).  Each typology is a :class:`FraudsterBehaviorModel` variant whose
+planned transfers carry a ``typology`` tag, which the generators thread onto
+:attr:`~repro.datagen.schema.Transaction.fraud_typology` — the labeled eval
+slices behind the per-typology recall report.
 """
 
 from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.datagen.schema import UserProfile
 from repro.exceptions import DataGenerationError
-from repro.rng import SeedLike, ensure_rng
+from repro.rng import SeedLike, ensure_rng, spawn_child
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.datagen.profiles import ColumnarAccounts
+
+
+#: The five labeled fraud typologies, in their canonical (assignment) order.
+FRAUD_TYPOLOGIES: Tuple[str, ...] = (
+    "mule_chain",
+    "account_takeover",
+    "bust_out",
+    "merchant_collusion",
+    "smurfing",
+)
+
+
+def typology_code(name: str) -> int:
+    """Integer code of a typology name (0 = untagged legacy campaign fraud)."""
+    if not name:
+        return 0
+    try:
+        return FRAUD_TYPOLOGIES.index(name) + 1
+    except ValueError:
+        raise DataGenerationError(f"unknown fraud typology {name!r}") from None
+
+
+def typology_name(code: int) -> str:
+    """Typology name for an integer code produced by :func:`typology_code`."""
+    if code == 0:
+        return ""
+    if not 1 <= code <= len(FRAUD_TYPOLOGIES):
+        raise DataGenerationError(f"unknown fraud typology code {code}")
+    return FRAUD_TYPOLOGIES[code - 1]
 
 
 @dataclass
@@ -83,7 +120,15 @@ class FraudsterState:
 
 @dataclass
 class PlannedFraud:
-    """One fraudulent transfer scheduled by the behaviour model."""
+    """One fraudulent transfer scheduled by the behaviour model.
+
+    ``victim_id`` is always the *payer* and ``fraudster_id`` the *payee* of
+    the generated transfer.  Typologies with outbound money movement (e.g.
+    bust-out cash-outs from the fraudster's own account) place the fraudster
+    in the payer slot and the receiving counterparty in the payee slot.
+    ``typology`` tags the generating scenario (one of
+    :data:`FRAUD_TYPOLOGIES`, or ``""`` for the legacy gathering campaign).
+    """
 
     day: int
     fraudster_id: str
@@ -91,6 +136,7 @@ class PlannedFraud:
     amount: float
     hour: int
     report_delay_days: int
+    typology: str = ""
 
 
 class FraudsterBehaviorModel:
@@ -227,6 +273,401 @@ class FraudsterBehaviorModel:
 
 
 @dataclass
+class TypologyConfig:
+    """Structure of the five labeled fraud typologies.
+
+    ``enabled`` selects which typologies run (canonical order is preserved for
+    deterministic fraudster assignment); the remaining knobs shape each
+    scenario's volume and footprint.  Expected per-day fraud volume is folded
+    into :meth:`~repro.datagen.transactions.WorldConfig.validate`'s budget
+    check through :meth:`expected_frauds_per_day`.
+    """
+
+    #: Typologies to run, a subset of :data:`FRAUD_TYPOLOGIES`.
+    enabled: Tuple[str, ...] = FRAUD_TYPOLOGIES
+    #: Probability a typology campaign fires on a given day.
+    active_day_probability: float = 0.3
+    #: Relay hops per mule chain (victim -> head -> mule -> ...).
+    chain_length: int = 3
+    #: Mean transfers per account-takeover burst (same victim, rapid drain).
+    takeover_burst: int = 3
+    #: Days of quiet buildup before a bust-out account can cash out.
+    bust_out_buildup_days: int = 5
+    #: Mean outbound cash-out transfers in one bust-out event.
+    bust_out_cashouts: int = 6
+    #: Colluding counterparties per fraudulent merchant.
+    collusion_ring_size: int = 4
+    #: Mean sub-threshold transfers per smurfing day.
+    smurf_transfers: int = 8
+    #: Reporting threshold smurfing stays below.
+    smurf_threshold: float = 3000.0
+
+    def validate(self) -> None:
+        """Reject unknown/duplicate typologies and out-of-range knobs."""
+        if not self.enabled:
+            raise DataGenerationError("typologies.enabled must not be empty")
+        unknown = [name for name in self.enabled if name not in FRAUD_TYPOLOGIES]
+        if unknown:
+            raise DataGenerationError(
+                f"unknown typologies {unknown}; valid: {list(FRAUD_TYPOLOGIES)}"
+            )
+        if len(set(self.enabled)) != len(self.enabled):
+            raise DataGenerationError("typologies.enabled contains duplicates")
+        if not 0.0 < self.active_day_probability <= 1.0:
+            raise DataGenerationError("active_day_probability must be in (0, 1]")
+        for name in (
+            "chain_length",
+            "takeover_burst",
+            "bust_out_cashouts",
+            "collusion_ring_size",
+            "smurf_transfers",
+        ):
+            if getattr(self, name) < 1:
+                raise DataGenerationError(f"{name} must be at least 1")
+        if self.bust_out_buildup_days < 0:
+            raise DataGenerationError("bust_out_buildup_days must be non-negative")
+        if self.smurf_threshold <= 0:
+            raise DataGenerationError("smurf_threshold must be positive")
+
+    def expected_frauds_per_fraudster_day(self, typology: str) -> float:
+        """Upper-bound expected fraud transfers per assigned fraudster per day."""
+        p = self.active_day_probability
+        if typology == "mule_chain":
+            # One active chain emits ~chain_length hops across chain_length
+            # members: about one transfer per member per active day.
+            return p
+        if typology == "account_takeover":
+            return p * max(2, self.takeover_burst)
+        if typology == "bust_out":
+            # At most one bust per fraudster over the horizon; bound by the
+            # bust day itself.
+            return p * max(2, self.bust_out_cashouts)
+        if typology == "merchant_collusion":
+            return p * self.collusion_ring_size
+        if typology == "smurfing":
+            return p * max(3, self.smurf_transfers)
+        raise DataGenerationError(f"unknown fraud typology {typology!r}")
+
+    def expected_frauds_per_day(self, num_fraudsters: int) -> float:
+        """Expected daily fraud volume for a round-robin fraudster partition."""
+        total = 0.0
+        width = len(self.enabled)
+        for index, name in enumerate(self.enabled):
+            assigned = len(range(index, num_fraudsters, width))
+            total += assigned * self.expected_frauds_per_fraudster_day(name)
+        return total
+
+
+class _TypologyFraudModel(FraudsterBehaviorModel):
+    """Base class of the five typology variants.
+
+    Inherits the campaign substrate (seeded rng, per-fraudster states,
+    community-sticky victim pools, shifted amount/hour/delay samplers and the
+    ``capture_state``/``restore_state`` checkpoint contract) and adds the
+    typology configuration.  Subclasses override :meth:`plan_day` only.
+    """
+
+    #: Typology tag stamped on every planned transfer (set per subclass).
+    typology: str = ""
+
+    def __init__(
+        self,
+        profiles: Sequence[UserProfile],
+        config: FraudConfig | None = None,
+        typologies: TypologyConfig | None = None,
+        *,
+        rng: SeedLike = None,
+    ):
+        super().__init__(profiles, config, rng=rng)
+        self.typologies = typologies or TypologyConfig()
+
+    def _planned(
+        self, day: int, payer_id: str, payee_id: str, amount: float, hour: int, delay: int
+    ) -> PlannedFraud:
+        return PlannedFraud(
+            day=day,
+            fraudster_id=payee_id,
+            victim_id=payer_id,
+            amount=amount,
+            hour=min(23, max(0, hour)),
+            report_delay_days=delay,
+            typology=self.typology,
+        )
+
+
+class MuleChainFraudModel(_TypologyFraudModel):
+    """Mule/relay chains: one stolen amount hops through consecutive mules.
+
+    Assigned fraudsters are grouped (deterministically, in population order)
+    into chains of ``chain_length``.  On an active day a chain lures one
+    victim into paying its head, then relays the money mule-to-mule at
+    consecutive hours with a small skim at each hop — the classic layering
+    pattern, producing directed paths in the transaction network rather than
+    the gathering star.
+    """
+
+    typology = "mule_chain"
+
+    def __init__(
+        self,
+        profiles: Sequence[UserProfile],
+        config: FraudConfig | None = None,
+        typologies: TypologyConfig | None = None,
+        *,
+        rng: SeedLike = None,
+    ):
+        super().__init__(profiles, config, typologies, rng=rng)
+        width = max(2, self.typologies.chain_length)
+        ids = [p.user_id for p in self._fraudsters]
+        self._chains = [ids[i : i + width] for i in range(0, len(ids), width)]
+
+    def plan_day(self, day: int) -> List[PlannedFraud]:
+        """Schedule one relayed theft per active chain."""
+        planned: List[PlannedFraud] = []
+        for chain in self._chains:
+            if self._rng.random() >= self.typologies.active_day_probability:
+                continue
+            head_state = self._states[chain[0]]
+            victim = self._pick_victim(head_state)
+            amount = self._sample_amount()
+            hour = self._sample_hour()
+            delay = self._sample_report_delay()
+            route = [victim.user_id] + chain
+            for hop, (payer, payee) in enumerate(zip(route, route[1:])):
+                planned.append(
+                    self._planned(day, payer, payee, amount * (0.92**hop), hour + hop, delay)
+                )
+                self._states[payee].fraud_count += 1
+            head_state.victims.append(victim.user_id)
+            if victim.community not in head_state.preferred_communities:
+                head_state.preferred_communities.append(victim.community)
+        return planned
+
+
+class AccountTakeoverFraudModel(_TypologyFraudModel):
+    """Account takeover: a compromised victim is drained in a rapid burst.
+
+    On an active day the fraudster picks one victim and fires a burst of
+    same-hour small-hours transfers from that single account to itself —
+    repeated payer->payee edges in a tight time window.
+    """
+
+    typology = "account_takeover"
+
+    def plan_day(self, day: int) -> List[PlannedFraud]:
+        """Schedule one same-victim drain burst per active fraudster."""
+        planned: List[PlannedFraud] = []
+        for state in self._states.values():
+            if self._rng.random() >= self.typologies.active_day_probability:
+                continue
+            victim = self._pick_victim(state)
+            burst = max(2, int(self._rng.poisson(self.typologies.takeover_burst)))
+            base_hour = int(self._rng.integers(0, 5))
+            delay = self._sample_report_delay()
+            for index in range(burst):
+                planned.append(
+                    self._planned(
+                        day,
+                        victim.user_id,
+                        state.user_id,
+                        self._sample_amount() * 0.5,
+                        base_hour + index // 2,
+                        delay,
+                    )
+                )
+                state.fraud_count += 1
+            state.victims.append(victim.user_id)
+            if victim.community not in state.preferred_communities:
+                state.preferred_communities.append(victim.community)
+        return planned
+
+
+class BustOutFraudModel(_TypologyFraudModel):
+    """Bust-out: quiet buildup, then one burst of outbound cash-outs.
+
+    The account behaves normally through ``bust_out_buildup_days``, then on
+    one active day moves everything *out* — the fraudster is the payer and
+    the receiving counterparties the payees, the reverse direction of the
+    gathering pattern.  Each account busts at most once.
+    """
+
+    typology = "bust_out"
+
+    def plan_day(self, day: int) -> List[PlannedFraud]:
+        """Schedule the (single) cash-out burst for eligible accounts."""
+        planned: List[PlannedFraud] = []
+        cfg = self.typologies
+        for state in self._states.values():
+            if state.one_shot_done or day < cfg.bust_out_buildup_days:
+                continue
+            if self._rng.random() >= cfg.active_day_probability:
+                continue
+            state.one_shot_done = True
+            count = max(2, int(self._rng.poisson(cfg.bust_out_cashouts)))
+            hour = self._sample_hour()
+            delay = self._sample_report_delay()
+            for _ in range(count):
+                counterparty = self._pick_victim(state)
+                planned.append(
+                    self._planned(
+                        day, state.user_id, counterparty.user_id, self._sample_amount(), hour, delay
+                    )
+                )
+                state.fraud_count += 1
+        return planned
+
+
+class MerchantCollusionFraudModel(_TypologyFraudModel):
+    """Merchant collusion: a fixed ring cycles round amounts through a merchant.
+
+    Each fraudster owns a static ring of ``collusion_ring_size`` counterparties
+    (chosen once, preferring its home community).  On an active day every ring
+    member pays the merchant a suspiciously round business-hours amount —
+    repeated identical edges with low amount variance.
+    """
+
+    typology = "merchant_collusion"
+
+    def __init__(
+        self,
+        profiles: Sequence[UserProfile],
+        config: FraudConfig | None = None,
+        typologies: TypologyConfig | None = None,
+        *,
+        rng: SeedLike = None,
+    ):
+        super().__init__(profiles, config, typologies, rng=rng)
+        self._rings: Dict[str, List[str]] = {}
+        for profile in self._fraudsters:
+            pool = self._normal_by_community.get(profile.community) or self._normal_users
+            size = min(self.typologies.collusion_ring_size, len(pool))
+            picks = self._rng.choice(len(pool), size=size, replace=False)
+            self._rings[profile.user_id] = [pool[int(i)].user_id for i in picks]
+
+    def plan_day(self, day: int) -> List[PlannedFraud]:
+        """Schedule one full ring rotation per active merchant."""
+        planned: List[PlannedFraud] = []
+        for state in self._states.values():
+            if self._rng.random() >= self.typologies.active_day_probability:
+                continue
+            delay = self._sample_report_delay()
+            for member in self._rings[state.user_id]:
+                amount = float(self._rng.integers(2, 20)) * 50.0
+                hour = int(self._rng.integers(9, 18))
+                planned.append(self._planned(day, member, state.user_id, amount, hour, delay))
+                state.fraud_count += 1
+        return planned
+
+
+class SmurfingFraudModel(_TypologyFraudModel):
+    """Smurfing: many small sub-threshold transfers from many payers.
+
+    On an active day the fraudster collects a swarm of transfers, each kept
+    below ``smurf_threshold`` (structuring), from community-sticky victims
+    spread across daytime hours — high edge count, low individual amounts.
+    """
+
+    typology = "smurfing"
+
+    def plan_day(self, day: int) -> List[PlannedFraud]:
+        """Schedule one sub-threshold swarm per active fraudster."""
+        planned: List[PlannedFraud] = []
+        cfg = self.typologies
+        for state in self._states.values():
+            if self._rng.random() >= cfg.active_day_probability:
+                continue
+            count = max(3, int(self._rng.poisson(cfg.smurf_transfers)))
+            delay = self._sample_report_delay()
+            for _ in range(count):
+                victim = self._pick_victim(state)
+                amount = float(cfg.smurf_threshold * self._rng.uniform(0.62, 0.98))
+                hour = int(self._rng.integers(8, 23))
+                planned.append(self._planned(day, victim.user_id, state.user_id, amount, hour, delay))
+                state.victims.append(victim.user_id)
+                state.fraud_count += 1
+        return planned
+
+
+#: Typology name -> behaviour-model class, in canonical order.
+TYPOLOGY_MODELS: Dict[str, type] = {
+    "mule_chain": MuleChainFraudModel,
+    "account_takeover": AccountTakeoverFraudModel,
+    "bust_out": BustOutFraudModel,
+    "merchant_collusion": MerchantCollusionFraudModel,
+    "smurfing": SmurfingFraudModel,
+}
+
+
+class TypologyFraudSuite:
+    """Runs the five typology models side by side over one population.
+
+    Fraudster profiles are partitioned round-robin (in population order)
+    across the enabled typologies, each sub-model gets its own spawned child
+    rng (salted by typology position), and :meth:`plan_day` concatenates the
+    sub-plans in canonical order — so the suite is exactly as deterministic,
+    checkpointable and budget-bounded as a single
+    :class:`FraudsterBehaviorModel`.  Drop-in compatible with the
+    ``plan_day``/``capture_state``/``restore_state`` contract
+    :class:`~repro.datagen.stream.WorldStream` expects.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[UserProfile],
+        config: FraudConfig | None = None,
+        typologies: TypologyConfig | None = None,
+        *,
+        rng: SeedLike = None,
+    ):
+        self.config = config or FraudConfig()
+        self.config.validate()
+        self.typologies = typologies or TypologyConfig()
+        self.typologies.validate()
+        rng = ensure_rng(rng)
+        normal = [p for p in profiles if not p.is_fraudster]
+        fraudsters = [p for p in profiles if p.is_fraudster]
+        if not normal:
+            raise DataGenerationError("population contains no normal users")
+        width = len(self.typologies.enabled)
+        self._assignments: Dict[str, str] = {}
+        self._models: List[_TypologyFraudModel] = []
+        for index, name in enumerate(self.typologies.enabled):
+            assigned = fraudsters[index::width]
+            for profile in assigned:
+                self._assignments[profile.user_id] = name
+            self._models.append(
+                TYPOLOGY_MODELS[name](
+                    normal + assigned,
+                    self.config,
+                    self.typologies,
+                    rng=spawn_child(rng, salt=index + 1),
+                )
+            )
+
+    @property
+    def assignments(self) -> Dict[str, str]:
+        """Fraudster user id -> assigned typology name."""
+        return dict(self._assignments)
+
+    def plan_day(self, day: int) -> List[PlannedFraud]:
+        """Concatenate every enabled typology's plan for ``day``."""
+        planned: List[PlannedFraud] = []
+        for model in self._models:
+            planned.extend(model.plan_day(day))
+        return planned
+
+    def capture_state(self) -> Dict[str, object]:
+        """Snapshot all sub-model states for stream checkpointing."""
+        return {"models": [model.capture_state() for model in self._models]}
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot previously produced by :meth:`capture_state`."""
+        snapshots = state["models"]
+        for model, snapshot in zip(self._models, snapshots):  # type: ignore[arg-type]
+            model.restore_state(snapshot)
+
+
+@dataclass
 class PlannedFraudBatch:
     """One day of planned frauds in columnar form (parallel numpy arrays)."""
 
@@ -237,6 +678,9 @@ class PlannedFraudBatch:
     amount: np.ndarray
     hour: np.ndarray
     report_delay_days: np.ndarray
+    #: Per-transfer typology code (:func:`typology_code`); ``None`` marks a
+    #: legacy planner batch whose transfers are all untagged.
+    typology: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return int(self.fraudster_index.size)
@@ -374,3 +818,237 @@ class ColumnarFraudPlanner:
             hour=hours,
             report_delay_days=delays,
         )
+
+
+def _empty_planned_batch() -> PlannedFraudBatch:
+    empty_int = np.zeros(0, dtype=np.int64)
+    return PlannedFraudBatch(
+        fraudster_index=empty_int,
+        victim_index=empty_int.copy(),
+        amount=np.zeros(0),
+        hour=empty_int.copy(),
+        report_delay_days=empty_int.copy(),
+        typology=empty_int.copy(),
+    )
+
+
+class ColumnarTypologySuite:
+    """Vectorized five-typology planner over a :class:`ColumnarAccounts` population.
+
+    The million-account analogue of :class:`TypologyFraudSuite`: fraudster
+    *indices* are partitioned round-robin across the enabled typologies and
+    each day is planned with whole-population numpy draws in canonical
+    typology order (one rng, fixed draw order, so the plan is a deterministic
+    function of the rng state).  Static structure (chain grouping, collusion
+    rings) is built once at construction; the only mutable state beyond the
+    rng is the bust-out flags, so checkpoints stay O(fraudsters).  Emitted
+    batches carry per-transfer typology codes which
+    :class:`~repro.datagen.stream.ScalableWorldStream` threads onto
+    ``Transaction.fraud_typology``.
+    """
+
+    def __init__(
+        self,
+        accounts: "ColumnarAccounts",
+        config: FraudConfig | None = None,
+        typologies: TypologyConfig | None = None,
+        *,
+        rng: SeedLike = None,
+    ):
+        self.config = config or FraudConfig()
+        self.config.validate()
+        self.typologies = typologies or TypologyConfig()
+        self.typologies.validate()
+        self._rng = ensure_rng(rng)
+        self._accounts = accounts
+        fraudsters = np.flatnonzero(accounts.is_fraudster)
+        self._normal_index = np.flatnonzero(~accounts.is_fraudster)
+        if self._normal_index.size == 0:
+            raise DataGenerationError("population contains no normal users")
+        width = len(self.typologies.enabled)
+        self._assigned: Dict[str, np.ndarray] = {
+            name: fraudsters[index::width]
+            for index, name in enumerate(self.typologies.enabled)
+        }
+        empty = fraudsters[:0]
+        # Static collusion rings: one row of counterparty indices per merchant.
+        merchants = self._assigned.get("merchant_collusion", empty)
+        ring_width = min(self.typologies.collusion_ring_size, int(self._normal_index.size))
+        self._rings = self._normal_index[
+            self._rng.integers(0, self._normal_index.size, size=(merchants.size, ring_width))
+        ]
+        self._busted = np.zeros(self._assigned.get("bust_out", empty).size, dtype=bool)
+
+    # ------------------------------------------------------------------
+    def capture_state(self) -> Dict[str, object]:
+        """Snapshot mutable suite state (rng position + bust-out flags)."""
+        return {
+            "rng_state": copy.deepcopy(self._rng.bit_generator.state),
+            "busted": self._busted.copy(),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Restore a snapshot previously produced by :meth:`capture_state`."""
+        self._rng.bit_generator.state = copy.deepcopy(state["rng_state"])
+        self._busted = np.array(state["busted"], dtype=bool, copy=True)
+
+    # ------------------------------------------------------------------
+    def plan_day(self, day: int) -> PlannedFraudBatch:
+        """Plan one day across every enabled typology as one columnar batch."""
+        payees: List[np.ndarray] = []
+        payers: List[np.ndarray] = []
+        amounts: List[np.ndarray] = []
+        hours: List[np.ndarray] = []
+        delays: List[np.ndarray] = []
+        codes: List[np.ndarray] = []
+        for name in self.typologies.enabled:
+            part = getattr(self, "_plan_" + name)(day)
+            if part is None:
+                continue
+            payee, payer, amount, hour, delay = part
+            if payee.size == 0:
+                continue
+            payees.append(payee.astype(np.int64))
+            payers.append(payer.astype(np.int64))
+            amounts.append(amount.astype(np.float64))
+            hours.append(hour.astype(np.int64))
+            delays.append(delay.astype(np.int64))
+            codes.append(np.full(payee.size, typology_code(name), dtype=np.int64))
+        if not payees:
+            return _empty_planned_batch()
+        return PlannedFraudBatch(
+            fraudster_index=np.concatenate(payees),
+            victim_index=np.concatenate(payers),
+            amount=np.concatenate(amounts),
+            hour=np.concatenate(hours),
+            report_delay_days=np.concatenate(delays),
+            typology=np.concatenate(codes),
+        )
+
+    # ------------------------------------------------------------------
+    def _victims(self, size: int) -> np.ndarray:
+        return self._normal_index[self._rng.integers(0, self._normal_index.size, size=size)]
+
+    def _amounts(self, size: int, scale: float = 1.0) -> np.ndarray:
+        cfg = self.config
+        draw = self._rng.lognormal(cfg.fraud_amount_log_mean, cfg.fraud_amount_log_sigma, size)
+        return np.clip(draw * scale, 10.0, 200_000.0)
+
+    def _delays(self, size: int) -> np.ndarray:
+        return (
+            np.clip(
+                self._rng.exponential(self.config.mean_report_delay_days, size), 0, 30
+            ).astype(np.int64)
+            + 1
+        )
+
+    # ------------------------------------------------------------------
+    def _plan_mule_chain(self, day: int):
+        assigned = self._assigned["mule_chain"]
+        if assigned.size == 0:
+            return None
+        cfg = self.typologies
+        width = max(2, cfg.chain_length)
+        num_chains = -(-int(assigned.size) // width)
+        active = self._rng.random(num_chains) < cfg.active_day_probability
+        victims = self._victims(num_chains)
+        amounts = self._amounts(num_chains)
+        hours = self._rng.integers(0, 6, size=num_chains)
+        delays = self._delays(num_chains)
+        member = np.arange(assigned.size)
+        chain_of = member // width
+        pos = member % width
+        payer = np.where(pos == 0, victims[chain_of], assigned[np.maximum(member - 1, 0)])
+        mask = active[chain_of]
+        return (
+            assigned[mask],
+            payer[mask],
+            (amounts[chain_of] * 0.92**pos)[mask],
+            np.minimum(23, hours[chain_of] + pos)[mask],
+            delays[chain_of][mask],
+        )
+
+    def _plan_account_takeover(self, day: int):
+        assigned = self._assigned["account_takeover"]
+        if assigned.size == 0:
+            return None
+        cfg = self.typologies
+        m = int(assigned.size)
+        active = self._rng.random(m) < cfg.active_day_probability
+        burst = np.maximum(2, self._rng.poisson(cfg.takeover_burst, m))
+        victims = self._victims(m)
+        hours = self._rng.integers(0, 5, size=m)
+        delays = self._delays(m)
+        counts = np.where(active, burst, 0)
+        slots = np.repeat(np.arange(m), counts)
+        if slots.size == 0:
+            return None
+        within = np.arange(slots.size) - np.repeat(np.cumsum(counts) - counts, counts)
+        return (
+            assigned[slots],
+            victims[slots],
+            self._amounts(int(slots.size), scale=0.5),
+            np.minimum(23, hours[slots] + within // 2),
+            delays[slots],
+        )
+
+    def _plan_bust_out(self, day: int):
+        assigned = self._assigned["bust_out"]
+        if assigned.size == 0:
+            return None
+        cfg = self.typologies
+        m = int(assigned.size)
+        draw = self._rng.random(m)
+        active = (~self._busted) & (day >= cfg.bust_out_buildup_days) & (
+            draw < cfg.active_day_probability
+        )
+        self._busted = self._busted | active
+        counts = np.where(active, np.maximum(2, self._rng.poisson(cfg.bust_out_cashouts, m)), 0)
+        hours = self._rng.integers(0, 24, size=m)
+        delays = self._delays(m)
+        slots = np.repeat(np.arange(m), counts)
+        if slots.size == 0:
+            return None
+        counterparties = self._victims(int(slots.size))
+        # Outbound direction: the busting account is the payer (victim slot).
+        return (
+            counterparties,
+            assigned[slots],
+            self._amounts(int(slots.size)),
+            hours[slots],
+            delays[slots],
+        )
+
+    def _plan_merchant_collusion(self, day: int):
+        assigned = self._assigned["merchant_collusion"]
+        if assigned.size == 0 or self._rings.shape[1] == 0:
+            return None
+        cfg = self.typologies
+        m = int(assigned.size)
+        active = self._rng.random(m) < cfg.active_day_probability
+        delays = self._delays(m)
+        ring_width = self._rings.shape[1]
+        slots = np.repeat(np.arange(m), np.where(active, ring_width, 0))
+        if slots.size == 0:
+            return None
+        members = self._rings[active].reshape(-1)
+        amounts = self._rng.integers(2, 20, size=slots.size).astype(np.float64) * 50.0
+        hours = self._rng.integers(9, 18, size=slots.size)
+        return (assigned[slots], members, amounts, hours, delays[slots])
+
+    def _plan_smurfing(self, day: int):
+        assigned = self._assigned["smurfing"]
+        if assigned.size == 0:
+            return None
+        cfg = self.typologies
+        m = int(assigned.size)
+        active = self._rng.random(m) < cfg.active_day_probability
+        counts = np.where(active, np.maximum(3, self._rng.poisson(cfg.smurf_transfers, m)), 0)
+        delays = self._delays(m)
+        slots = np.repeat(np.arange(m), counts)
+        if slots.size == 0:
+            return None
+        victims = self._victims(int(slots.size))
+        amounts = cfg.smurf_threshold * self._rng.uniform(0.62, 0.98, size=slots.size)
+        hours = self._rng.integers(8, 23, size=slots.size)
+        return (assigned[slots], victims, amounts, hours, delays[slots])

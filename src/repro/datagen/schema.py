@@ -111,6 +111,12 @@ class Transaction:
     ``is_fraud`` is the ground-truth label; ``label_available_day`` models the
     reporting delay of user fraud reports (labels are not observable in real
     time, which is why the paper trains offline and predicts online).
+
+    ``fraud_typology`` tags campaign frauds with the generating typology
+    (``"mule_chain"``, ``"smurfing"``, ...) so evaluation can report recall
+    per fraud scenario; it is ``""`` for normal transfers, background fraud
+    and worlds generated without a typology suite.  Ground truth only — the
+    tag is never exposed as a feature.
     """
 
     transaction_id: str
@@ -129,6 +135,7 @@ class Transaction:
     payee_recent_inbound_count: int
     is_fraud: bool
     label_available_day: int
+    fraud_typology: str = ""
 
     def to_row(self) -> Dict[str, object]:
         """Serialise the transaction for the MaxCompute table substrate."""

@@ -29,8 +29,11 @@ import numpy as np
 
 from repro.datagen.fraud import (
     ColumnarFraudPlanner,
+    ColumnarTypologySuite,
     FraudsterBehaviorModel,
     PlannedFraudBatch,
+    TypologyFraudSuite,
+    typology_name,
 )
 from repro.datagen.profiles import ColumnarAccounts, ProfileGenerator, profiles_by_id
 from repro.datagen.schema import (
@@ -232,9 +235,18 @@ class WorldStream(TransactionStream):
         fraud_rng = spawn_child(master_rng, salt=2)
         stream_rng = spawn_child(master_rng, salt=3)
         self._profiles = ProfileGenerator(self._config.profile, rng=profile_rng).generate()
-        self._fraud_model = FraudsterBehaviorModel(
-            self._profiles, self._config.fraud, rng=fraud_rng
-        )
+        self._fraud_model: FraudsterBehaviorModel | TypologyFraudSuite
+        if self._config.typologies is not None:
+            self._fraud_model = TypologyFraudSuite(
+                self._profiles,
+                self._config.fraud,
+                self._config.typologies,
+                rng=fraud_rng,
+            )
+        else:
+            self._fraud_model = FraudsterBehaviorModel(
+                self._profiles, self._config.fraud, rng=fraud_rng
+            )
         self._generator = _DailyStreamGenerator(self._config, self._profiles, stream_rng)
         self._order = order
         super().__init__(self._config.num_days)
@@ -322,9 +334,18 @@ class ScalableWorldStream(TransactionStream):
         self._config.validate()
         master_rng = ensure_rng(self._config.seed if rng is None else rng)
         self._accounts = ColumnarAccounts(self._config.profile, rng=spawn_child(master_rng, salt=1))
-        self._planner = ColumnarFraudPlanner(
-            self._accounts, self._config.fraud, rng=spawn_child(master_rng, salt=2)
-        )
+        self._planner: ColumnarFraudPlanner | ColumnarTypologySuite
+        if self._config.typologies is not None:
+            self._planner = ColumnarTypologySuite(
+                self._accounts,
+                self._config.fraud,
+                self._config.typologies,
+                rng=spawn_child(master_rng, salt=2),
+            )
+        else:
+            self._planner = ColumnarFraudPlanner(
+                self._accounts, self._config.fraud, rng=spawn_child(master_rng, salt=2)
+            )
         self._rng = spawn_child(master_rng, salt=3)
         self._arrival = self._config.arrival or ArrivalConfig()
         n = self._accounts.num_accounts
@@ -488,9 +509,13 @@ class ScalableWorldStream(TransactionStream):
         )
         slot, is_new = self._device_draw(victims, self._rng.random(m) < 0.5)
         ip_risk = np.round(np.clip(self._rng.beta(4.0, 4.0, size=m), 0, 1), 4)
+        typologies = None
+        if planned.typology is not None:
+            typologies = [typology_name(int(code)) for code in planned.typology[events]]
         return self._build_transactions(
             day, hour, victims, fraudsters, amounts, channel_codes, cities, slot, is_new,
             ip_risk, np.ones(m, dtype=bool), planned.report_delay_days[events],
+            typologies=typologies,
         )
 
     def _build_transactions(
@@ -507,6 +532,7 @@ class ScalableWorldStream(TransactionStream):
         ip_risk: np.ndarray,
         is_fraud: np.ndarray,
         report_delays: np.ndarray,
+        typologies: Optional[List[str]] = None,
     ) -> List[Transaction]:
         # Recent-activity features use the chunk-start counter snapshot.
         recent_count = self._payer_count[payers].astype(np.int64)
@@ -535,6 +561,7 @@ class ScalableWorldStream(TransactionStream):
                 payee_recent_inbound_count=int(inbound[i]),
                 is_fraud=bool(is_fraud[i]),
                 label_available_day=day + (int(report_delays[i]) if is_fraud[i] else 0),
+                fraud_typology=typologies[i] if typologies is not None else "",
             )
             for i in range(payers.size)
         ]

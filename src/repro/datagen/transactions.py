@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.datagen.fraud import FraudConfig, PlannedFraud
+from repro.datagen.fraud import FraudConfig, PlannedFraud, TypologyConfig
 from repro.datagen.profiles import ProfileConfig, profiles_by_id
 from repro.datagen.schema import (
     NUM_CITIES,
@@ -167,6 +167,11 @@ class WorldConfig:
     #: Optional non-homogeneous arrival process (diurnal curve + bursts) used
     #: by the scalable stream; ``None`` keeps the legacy uniform-day model.
     arrival: Optional[ArrivalConfig] = None
+    #: Optional labeled fraud-typology suite; ``None`` keeps the legacy single
+    #: gathering-campaign fraud model.  When set, fraudsters are partitioned
+    #: across the enabled typologies and every campaign fraud carries its
+    #: generating typology on ``Transaction.fraud_typology``.
+    typologies: Optional[TypologyConfig] = None
     seed: Optional[int] = 7
 
     def validate(self) -> None:
@@ -200,12 +205,16 @@ class WorldConfig:
         # Fraud budget: the campaign model must not schedule more frauds than
         # the day's expected normal transaction budget can plausibly carry.
         fraud = self.fraud
-        expected_frauds_per_day = num_fraudsters * (
-            fraud.repeat_offender_fraction
-            * fraud.active_day_probability
-            * max(1.0, fraud.frauds_per_active_day)
-            + (1.0 - fraud.repeat_offender_fraction) * 0.02
-        )
+        if self.typologies is not None:
+            self.typologies.validate()
+            expected_frauds_per_day = self.typologies.expected_frauds_per_day(num_fraudsters)
+        else:
+            expected_frauds_per_day = num_fraudsters * (
+                fraud.repeat_offender_fraction
+                * fraud.active_day_probability
+                * max(1.0, fraud.frauds_per_active_day)
+                + (1.0 - fraud.repeat_offender_fraction) * 0.02
+            )
         expected_normal_per_day = num_users * self.transactions_per_user_per_day
         if expected_frauds_per_day > expected_normal_per_day:
             raise DataGenerationError(
@@ -458,6 +467,7 @@ class _DailyStreamGenerator:
             ip_risk=ip_risk,
             is_fraud=True,
             report_delay=fraud.report_delay_days,
+            typology=fraud.typology,
         )
 
     def _emit(
@@ -475,6 +485,7 @@ class _DailyStreamGenerator:
         ip_risk: float,
         is_fraud: bool,
         report_delay: int,
+        typology: str = "",
     ) -> Transaction:
         txn = Transaction(
             transaction_id=self._next_id(),
@@ -493,6 +504,7 @@ class _DailyStreamGenerator:
             payee_recent_inbound_count=self._activity.payee_inbound.get(payee, 0),
             is_fraud=is_fraud,
             label_available_day=day + (report_delay if is_fraud else 0),
+            fraud_typology=typology,
         )
         self._activity.observe(payer, payee, amount)
         return txn

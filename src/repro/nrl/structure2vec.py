@@ -20,7 +20,7 @@ The learned embedding of node v is mu_v^(T).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 from scipy import sparse
@@ -61,14 +61,18 @@ class Structure2VecConfig:
             raise EmbeddingError("l2 must be non-negative")
 
 
-def node_structural_features(network: TransactionNetwork) -> Tuple[List[str], np.ndarray]:
+def node_structural_features(
+    network: TransactionNetwork, nodes: Optional[Sequence[str]] = None
+) -> Tuple[List[str], np.ndarray]:
     """Raw structural features x_v used as Structure2Vec inputs.
 
     Six per-node features derived purely from the network: log in/out degree,
     log total in/out weight, the ratio of in to total degree, and a constant
-    bias term.
+    bias term.  ``nodes`` restricts the computation to a subset (in the given
+    order) — each row depends only on that node's own incident edges, so a
+    subset is exactly the corresponding rows of the full matrix.
     """
-    nodes = network.nodes()
+    nodes = network.nodes() if nodes is None else list(nodes)
     features = np.zeros((len(nodes), 6), dtype=np.float64)
     for row, node in enumerate(nodes):
         in_neighbors = network.predecessors(node)
@@ -150,6 +154,81 @@ class Structure2Vec(NRLModel):
         if self._embeddings is None:
             raise EmbeddingError("Structure2Vec has not been fitted")
         return self._embeddings
+
+    @property
+    def params(self) -> Dict[str, np.ndarray]:
+        """Trained parameter copies (``W1``, ``W2``, ``w``, ``b``).
+
+        Raises :class:`EmbeddingError` before :meth:`fit`.  Returned arrays are
+        copies — mutating them does not affect the fitted model.
+        """
+        if self._params is None:
+            raise EmbeddingError("Structure2Vec has not been fitted")
+        return {name: value.copy() for name, value in self._params.items()}
+
+    def embed_nodes(self, network: TransactionNetwork, targets: Sequence[str]) -> EmbeddingSet:
+        """Exact restricted forward pass: mu^(T) for ``targets`` only.
+
+        Used by the online embedding refresher to re-embed the accounts touched
+        by new edges without running the forward pass over the whole network.
+        With T = ``propagation_rounds``, a target's mu^(T) depends on mu^(T-k)
+        of nodes at distance k — and nodes at distance T only ever contribute
+        mu^(0) = 0.  So iterating T uniform rounds over the radius-T ball, with
+        full aggregation rows for nodes at distance <= T-1 and no rows for the
+        distance-T boundary, reproduces the full-network mu^(T) of every target
+        exactly (up to floating-point summation order in the sparse product).
+
+        The ball is expanded deterministically (sorted neighbour order) so the
+        result is reproducible for a given network and target sequence.
+        """
+        if self._params is None:
+            raise EmbeddingError("Structure2Vec has not been fitted")
+        target_list = list(dict.fromkeys(targets))
+        if not target_list:
+            raise EmbeddingError("embed_nodes requires at least one target node")
+        for node in target_list:
+            if node not in network:
+                raise EmbeddingError(f"target node {node!r} is not in the network")
+
+        rounds = self.config.propagation_rounds
+        distance: Dict[str, int] = {node: 0 for node in target_list}
+        order: List[str] = list(target_list)
+        frontier: List[str] = list(target_list)
+        for depth in range(1, rounds + 1):
+            next_frontier: List[str] = []
+            for node in frontier:
+                for neighbor in sorted(network.neighbors(node)):
+                    if neighbor not in distance:
+                        distance[neighbor] = depth
+                        order.append(neighbor)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+
+        ball, features = node_structural_features(network, nodes=order)
+        index = {node: i for i, node in enumerate(ball)}
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        for node in ball:
+            if distance[node] >= rounds:
+                # Boundary nodes only contribute mu^(0) = 0 to the targets;
+                # their own aggregation rows are never consumed.
+                continue
+            neighbors = network.neighbors(node)
+            if not neighbors:
+                continue
+            total = sum(neighbors.values())
+            for neighbor, weight in neighbors.items():
+                rows.append(index[node])
+                cols.append(index[neighbor])
+                vals.append(weight / total)
+        adjacency = sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(len(ball), len(ball)), dtype=np.float64
+        )
+        activations, _ = self._forward(self._params, features, adjacency)
+        final = activations[-1]
+        vectors = np.array([final[index[node]] for node in target_list])
+        return EmbeddingSet(target_list, vectors, name="structure2vec")
 
     # ------------------------------------------------------------------
     def _initialize(self, num_features: int) -> Dict[str, np.ndarray]:

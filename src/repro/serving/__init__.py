@@ -38,6 +38,12 @@ from repro.serving.admission import (
     default_fraud_rules,
 )
 from repro.serving.streaming import StreamingFeatureUpdater
+from repro.serving.embedding_refresh import (
+    EmbeddingRefreshConfig,
+    EmbeddingRefreshQueue,
+    EmbeddingRefresher,
+    RefreshReport,
+)
 from repro.serving.async_server import AsyncServingFrontEnd
 from repro.serving.alipay import (
     AlipayServer,
@@ -49,6 +55,10 @@ from repro.serving.rotation import FleetController, RolloutReport
 
 __all__ = [
     "StreamingFeatureUpdater",
+    "EmbeddingRefreshConfig",
+    "EmbeddingRefreshQueue",
+    "EmbeddingRefresher",
+    "RefreshReport",
     "LatencyTracker",
     "LatencyReport",
     "HBaseFeatureSource",

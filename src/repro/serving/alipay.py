@@ -64,6 +64,11 @@ class ServingReport:
     overload (still answered — never dropped), and ``peak_queue_depth`` is
     the admission controller's maximum modelled backlog during the replay
     (0.0 when no admission control is attached).
+
+    ``missing_embeddings`` counts (user, embedding-block) reads across the
+    fleet that found no stored embedding row at all and were served the
+    explicit zero default — cold accounts, observable instead of silently
+    indistinguishable from a trained all-zero vector.
     """
 
     total: int
@@ -74,6 +79,7 @@ class ServingReport:
     missed_frauds: int
     degraded: int = 0
     peak_queue_depth: float = 0.0
+    missing_embeddings: int = 0
 
     @property
     def alert_precision(self) -> float:
@@ -540,6 +546,9 @@ class AlipayServer:
             degraded=counters["degraded"],
             peak_queue_depth=(
                 self.admission.peak_queue_depth if self.admission is not None else 0.0
+            ),
+            missing_embeddings=sum(
+                server.missing_embeddings for server in self._model_servers
             ),
         )
 

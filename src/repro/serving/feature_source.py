@@ -49,6 +49,10 @@ class HBaseFeatureSource(FeatureSource):
     def __init__(self, hbase: HBaseClient, table_name: str = "titant_features"):
         self.hbase = hbase
         self.table_name = table_name
+        #: (user, block) reads that found no stored embedding cell at all —
+        #: distinguishes a genuinely missing row (cold account, never
+        #: published) from a stored vector that happens to be all zeros.
+        self.missing_embeddings = 0
 
     # ------------------------------------------------------------------
     def profiles_for(self, user_ids: Sequence[str]) -> Dict[str, UserProfile]:
@@ -105,6 +109,15 @@ class HBaseFeatureSource(FeatureSource):
                     f"{vector.shape[0]} dimensions, plan expects {block.dimension}"
                 )
             return vector
+        if f"{block.set_name}_0" not in row:
+            # No array cell and no legacy scalar cells: the embedding row was
+            # never published for this account.  Serve the explicit neutral
+            # default — the zero vector, exactly what the offline
+            # ``EmbeddingSet.lookup`` uses for unknown users — and count it,
+            # so missing rows are observable instead of masquerading as a
+            # trained all-zero embedding.
+            self.missing_embeddings += 1
+            return np.zeros(block.dimension, dtype=np.float64)
         # Legacy layout: one scalar cell per dimension ("dw_0", "dw_1", ...).
         vector = np.zeros(block.dimension, dtype=np.float64)
         for dim in range(block.dimension):

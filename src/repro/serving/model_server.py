@@ -191,6 +191,8 @@ class ModelServer:
         self._shadow_flips = 0
         self.latency = LatencyTracker(sla_budget_ms=self.config.sla_budget_ms)
         self.requests_served = 0
+        self._feature_source: Optional[HBaseFeatureSource] = None
+        self._missing_embeddings_base = 0
 
     # ------------------------------------------------------------------
     # Model lifecycle
@@ -295,16 +297,38 @@ class ModelServer:
         )
 
     def _rebuild_executor(self) -> None:
+        # Executors are rebuilt on every model load / table switch; fold the
+        # outgoing active source's missing-row count into the server-level
+        # base so the counter survives rotations.
+        if self._feature_source is not None:
+            self._missing_embeddings_base += self._feature_source.missing_embeddings
+            self._feature_source = None
         if self._active is None:
             self._executor = None
         else:
             source = HBaseFeatureSource(self.hbase, self._feature_table)
+            self._feature_source = source
             self._executor = FeaturePlanExecutor(self._active.plan, source)
         if self._shadow is None:
             self._shadow_executor = None
         else:
             source = HBaseFeatureSource(self.hbase, self._feature_table)
             self._shadow_executor = FeaturePlanExecutor(self._shadow.plan, source)
+
+    @property
+    def missing_embeddings(self) -> int:
+        """(user, block) reads on the active scoring path that found no
+        stored embedding row at all (served the explicit zero default).
+
+        Accumulated across model rotations and feature-table switches; the
+        shadow scoring path is not counted.
+        """
+        live = (
+            self._feature_source.missing_embeddings
+            if self._feature_source is not None
+            else 0
+        )
+        return self._missing_embeddings_base + live
 
     @property
     def feature_table(self) -> str:

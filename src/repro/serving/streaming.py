@@ -32,6 +32,7 @@ from repro.features.streaming import SlidingWindowAggregator
 from repro.hbase.client import AGGREGATES_FAMILY, HBaseClient
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.embedding_refresh import EmbeddingRefresher
     from repro.serving.model_server import TransactionRequest
 
 
@@ -60,6 +61,12 @@ class StreamingFeatureUpdater:
         O(accounts) write cost per refresh).  ``None`` (default) disables the
         sweep — appropriate when the window is much longer than the serving
         horizon, where decay between touches is negligible.
+    embedding_refresher:
+        Optional :class:`~repro.serving.embedding_refresh.EmbeddingRefresher`.
+        When attached, every ingested transaction is also folded into the
+        cumulative transaction network and its endpoint accounts are queued
+        for Structure2Vec re-embedding, keeping the embeddings column family
+        convergent with the growing graph alongside the aggregate rows.
     """
 
     def __init__(
@@ -70,6 +77,7 @@ class StreamingFeatureUpdater:
         *,
         start_version: int = 0,
         refresh_interval_seconds: Optional[float] = None,
+        embedding_refresher: Optional["EmbeddingRefresher"] = None,
     ) -> None:
         self.aggregator = aggregator
         self.hbase = hbase
@@ -79,6 +87,7 @@ class StreamingFeatureUpdater:
         self.refresh_interval_seconds = refresh_interval_seconds
         self.refreshes = 0
         self._last_refresh_watermark: Optional[float] = None
+        self.embedding_refresher = embedding_refresher
         #: Accounts with a written aggregate row — refreshes must re-anchor
         #: these even after the aggregator prunes an idle account entirely.
         self._published: Set[str] = set()
@@ -107,6 +116,8 @@ class StreamingFeatureUpdater:
                 version=self._version,
             )
             self._published.add(user_id)
+        if self.embedding_refresher is not None:
+            self.embedding_refresher.observe_transaction(transaction)
         self._maybe_refresh()
         return True
 

@@ -400,3 +400,107 @@ class TestAlipayServer:
         ]
         assert first.requests_served - first_before == 20
         assert second.requests_served == 20
+
+
+class TestEmbeddingWriteThroughInvalidation:
+    """PR 10: refresh writes must invalidate exactly the embedding CF, fleet-wide."""
+
+    def _storage_reads(self, client: HBaseClient) -> int:
+        return sum(stats["reads"] for stats in client.region_load_report().values())
+
+    def test_embedding_put_invalidates_only_embedding_family_on_every_connection(self):
+        from repro.hbase.client import AGGREGATES_FAMILY
+
+        parent = HBaseClient(row_cache_ttl_s=60.0)
+        parent.create_feature_store()
+        families = {
+            BASIC_FEATURES_FAMILY: {"age": 30},
+            AGGREGATES_FAMILY: {"out_count_7d": 2.0},
+            EMBEDDINGS_FAMILY: {"s2v": (1.0, 2.0, 3.0)},
+        }
+        for family, values in families.items():
+            parent.put("titant_features", "u1", family, values, version=1)
+        # A three-handle fleet: the parent plus two Model-Server-style
+        # connections, each with a private row cache over shared storage.
+        fleet = [parent, parent.connection(), parent.connection()]
+        for handle in fleet:
+            for family in families:
+                handle.get("titant_features", "u1", family)
+
+        # Fully warm: every (handle, family) read is now served from cache.
+        before = self._storage_reads(parent)
+        for handle in fleet:
+            for family in families:
+                handle.get("titant_features", "u1", family)
+        assert self._storage_reads(parent) == before
+
+        # An embedding write-through — the same put the refresh pass issues.
+        parent.put(
+            "titant_features", "u1", EMBEDDINGS_FAMILY, {"s2v": (9.0, 9.0, 9.0)}, version=2
+        )
+        for handle in fleet:
+            # The embedding row was invalidated in this handle's cache: the
+            # read goes back to storage and sees the refreshed vector.
+            reads = self._storage_reads(parent)
+            row = handle.get("titant_features", "u1", EMBEDDINGS_FAMILY)
+            assert tuple(row["s2v"]) == (9.0, 9.0, 9.0)
+            assert self._storage_reads(parent) == reads + 1
+            # Profile and aggregate rows were NOT invalidated: still cached.
+            reads = self._storage_reads(parent)
+            assert handle.get("titant_features", "u1", BASIC_FEATURES_FAMILY)["age"] == 30
+            assert handle.get("titant_features", "u1", AGGREGATES_FAMILY)["out_count_7d"] == 2.0
+            assert self._storage_reads(parent) == reads
+
+
+class TestMissingEmbeddingDefault:
+    """PR 10 satellite: missing embedding rows get an explicit, counted default."""
+
+    @pytest.fixture()
+    def embedding_server(self, serving_stack):
+        from repro.features.plan import FeaturePlan
+
+        hbase, _ = serving_stack
+        plan = FeaturePlan.from_specs([("s2v", 4)], embedding_side="both")
+        rng = np.random.default_rng(0)
+        model = GradientBoostingClassifier(num_trees=5, seed=0).fit(
+            rng.normal(size=(64, plan.num_features)),
+            (rng.random(64) < 0.5).astype(np.float64),
+        )
+        server = ModelServer(hbase, ModelServerConfig())
+        server.load_model(model, version="s2v_v1", threshold=0.5, plan=plan)
+        return hbase, server, model, plan
+
+    def test_missing_row_counted_stored_zero_row_not(self, embedding_server, dataset):
+        hbase, server, _, _ = embedding_server
+        txn = dataset.test_transactions[0]
+        # The payer has an explicitly published all-zero embedding; the payee
+        # has no embedding row at all.  Both score as the zero vector, but
+        # only the payee's read is a *missing* embedding.
+        hbase.put(
+            "titant_features",
+            txn.payer_id,
+            EMBEDDINGS_FAMILY,
+            {"s2v": (0.0, 0.0, 0.0, 0.0)},
+            version=1,
+        )
+        assert server.missing_embeddings == 0
+        server.predict(TransactionRequest.from_transaction(txn))
+        assert server.missing_embeddings == 1
+
+    def test_counter_accumulates_across_model_rotations(self, embedding_server, dataset):
+        _, server, model, plan = embedding_server
+        txn = dataset.test_transactions[1]
+        server.predict(TransactionRequest.from_transaction(txn))
+        first = server.missing_embeddings
+        assert first == 2  # both sides unpublished
+        server.load_model(model, version="s2v_v2", threshold=0.5, plan=plan)
+        server.predict(TransactionRequest.from_transaction(txn))
+        assert server.missing_embeddings == first + 2
+
+    def test_serving_report_carries_missing_embeddings(self, embedding_server, dataset):
+        _, server, _, _ = embedding_server
+        alipay = AlipayServer(server)
+        report = alipay.replay_transactions(dataset.test_transactions[:25])
+        assert report.total == 25
+        assert report.missing_embeddings == server.missing_embeddings
+        assert report.missing_embeddings > 0
